@@ -1,0 +1,108 @@
+"""Fig. 7 — effectiveness under varying recall requirements Γ.
+
+The paper's headline figure.  For each (dataset, query) pair and each
+Γ ∈ {0.9, 0.95, 0.99, 0.999} it reports, for both modeling strategies
+(EqSel and NonEqSel):
+
+* the average K-slack buffer size (the latency proxy), with Max-K-slack's
+  average K as the reference line;
+* the requirement-fulfillment percentages Φ(Γ) and Φ(.99Γ).
+
+Expected shapes (paper Sec. VI-B): average K grows with Γ; the
+model-based approach needs a (much) smaller K than Max-K-slack at equal
+quality — up to 95% smaller at Γ = 0.99 on the 2-way real-world join —
+and NonEqSel is the more robust strategy (Φ(.99Γ) ≥ ~97% everywhere,
+at a slightly higher K than EqSel).
+"""
+
+from common import ALL_EXPERIMENTS, experiment, report, run
+
+GAMMAS = (0.9, 0.95, 0.99, 0.999)
+STRATEGIES = ("model-eqsel", "model-noneqsel")
+NONEQ_LABEL = "Model-based(NonEqSel)"
+
+
+def _sweep():
+    outcomes = []
+    references = {}
+    for name in ALL_EXPERIMENTS:
+        references[name] = run(name, "max-k-slack", gamma=0.99)
+        for gamma in GAMMAS:
+            for strategy in STRATEGIES:
+                outcomes.append(run(name, strategy, gamma=gamma))
+    return outcomes, references
+
+
+def test_fig07_vary_gamma(benchmark):
+    outcomes, references = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    reference_by_label = {
+        experiment(n).name: r for n, r in references.items()
+    }
+
+    rows = []
+    for outcome in outcomes:
+        reference = reference_by_label[outcome.experiment]
+        reduction = (
+            100.0 * (1.0 - outcome.average_k_s / reference.average_k_s)
+            if reference.average_k_s > 0
+            else 0.0
+        )
+        rows.append(
+            (
+                outcome.experiment,
+                outcome.gamma,
+                outcome.policy,
+                f"{outcome.average_k_s:.2f}",
+                f"{100 * outcome.phi:.1f}",
+                f"{100 * outcome.phi99:.1f}",
+                f"{reduction:.0f}%",
+            )
+        )
+    for reference in references.values():
+        rows.append(
+            (
+                reference.experiment,
+                "-",
+                "Max-K-slack (ref)",
+                f"{reference.average_k_s:.2f}",
+                "-",
+                "-",
+                "0%",
+            )
+        )
+    report(
+        "fig07_vary_gamma",
+        "Fig. 7 — Avg. K and requirement fulfillment vs Gamma (EqSel / NonEqSel)",
+        [
+            "dataset",
+            "Gamma",
+            "strategy",
+            "Avg K (s)",
+            "Phi(G)%",
+            "Phi(.99G)%",
+            "K reduction vs Max-K",
+        ],
+        rows,
+    )
+
+    # Shape checks -----------------------------------------------------
+    by_key = {(o.experiment, o.policy, o.gamma): o for o in outcomes}
+    for name in ALL_EXPERIMENTS:
+        label = experiment(name).name
+        reference = reference_by_label[label]
+        noneq = sorted(
+            (
+                by_key[(label, NONEQ_LABEL, g)]
+                for g in GAMMAS
+                if (label, NONEQ_LABEL, g) in by_key
+            ),
+            key=lambda o: o.gamma,
+        )
+        # Avg K non-decreasing in Gamma (small estimation noise allowed).
+        ks = [o.average_k_s for o in noneq]
+        assert all(a <= b + 0.35 for a, b in zip(ks, ks[1:])), (name, ks)
+        # Model-based beats Max-K-slack on buffer size at moderate Gamma.
+        assert noneq[0].average_k_s < reference.average_k_s
+        # Quality near the requirement for most measurements.
+        for outcome in noneq:
+            assert outcome.phi99 >= 0.6, (name, outcome.gamma, outcome.phi99)

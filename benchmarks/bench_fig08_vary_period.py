@@ -1,0 +1,59 @@
+"""Fig. 8 — effectiveness under varying result-quality measurement periods P.
+
+The paper varies P ∈ {30, 60, 180, 300} s on (D×2real, Q×2) and
+(D×3syn, Q×3) under Γ ∈ {0.95, 0.99}.  Expected shapes: smaller P is
+harder to fulfil (fewer chances for a weak interval to be compensated
+within the same period → lower Φ), yet Φ(.99Γ) stays above ~90%; the
+average K is largely insensitive to P.
+
+Scale note: bench runs cover ~90 s of stream time, so the P grid is
+rescaled to {5, 10, 15, 30} s (the paper's grid divided by ~10, with the
+same smallest-P/L ratio of 5).  Set REPRO_PAPER_SCALE=1 to run the
+paper's grid on the full-length datasets.
+"""
+
+from common import PAPER_SCALE, report, run
+
+PERIODS_MS = (30_000, 60_000, 180_000, 300_000) if PAPER_SCALE else (5_000, 10_000, 15_000, 30_000)
+GAMMAS = (0.95, 0.99)
+DATASETS = ("soccer", "d3")
+
+
+def _sweep():
+    outcomes = []
+    for name in DATASETS:
+        for gamma in GAMMAS:
+            for period in PERIODS_MS:
+                outcomes.append(
+                    run(name, "model-noneqsel", gamma=gamma, period_ms=period)
+                )
+    return outcomes
+
+
+def test_fig08_vary_period(benchmark):
+    outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    rows = [
+        (
+            o.experiment,
+            o.gamma,
+            o.period_ms / 1000.0,
+            f"{o.average_k_s:.2f}",
+            f"{100 * o.phi:.1f}",
+            f"{100 * o.phi99:.1f}",
+            len(o.measurements),
+        )
+        for o in outcomes
+    ]
+    report(
+        "fig08_vary_period",
+        "Fig. 8 — effectiveness vs result-quality measurement period P (NonEqSel)",
+        ["dataset", "Gamma", "P (s)", "Avg K (s)", "Phi(G)%", "Phi(.99G)%", "#samples"],
+        rows,
+    )
+
+    # Shape check: the near-requirement fulfillment stays high for every
+    # P (the paper reports Phi(.99G) > 90% throughout; Phi(G) itself dips
+    # for small P there too, so no monotonicity is asserted).
+    for o in outcomes:
+        assert o.phi99 >= 0.75, (o.experiment, o.gamma, o.period_ms, o.phi99)

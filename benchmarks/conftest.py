@@ -1,0 +1,17 @@
+"""Pytest configuration for the benchmark suite.
+
+Benchmarks live outside the default ``testpaths`` and run via::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench times one full sweep with ``benchmark.pedantic(rounds=1)`` —
+the interesting output is the printed report (also written to
+``results/``), not the timing statistics; a single round keeps the whole
+suite re-runnable in minutes.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

@@ -1,0 +1,94 @@
+"""Distributed execution (paper Sec. V): MJoin vs a tree of binary joins.
+
+An m-way join can run as one MJoin-style operator or as a tree of binary
+operators, each with its own prior-join Synchronizer (how distributed
+engines deploy it).  This example runs both over the same 3-way workload
+— first sorted (result sets must be identical), then disordered behind
+the same K-slack front end — and prints the comparison.
+
+Run with::
+
+    python examples/distributed_tree.py
+"""
+
+from repro import (
+    KSlackBuffer,
+    MSWJOperator,
+    Synchronizer,
+    compute_truth,
+    equi_join_chain,
+    make_d3_syn,
+    seconds,
+)
+from repro.distributed.tree import TreeJoinOperator
+
+WINDOWS = [seconds(5)] * 3
+CONDITION = equi_join_chain("a1", 3)
+
+
+def replay_sorted(dataset, operator, flush=lambda: []):
+    keys = set()
+    for t in dataset.sorted_by_timestamp():
+        keys.update(r.key() for r in operator.process(t))
+    keys.update(r.key() for r in flush())
+    return keys
+
+
+def replay_disordered(dataset, join_process, join_flush, k_ms):
+    buffers = [KSlackBuffer(k_ms) for _ in range(3)]
+    sync = Synchronizer(3)
+    count = 0
+    for t in dataset.arrivals():
+        for released in buffers[t.stream].process(t):
+            for emitted in sync.process(released):
+                count += join_process(emitted)
+    for i, buffer in enumerate(buffers):
+        for released in buffer.flush():
+            for emitted in sync.process(released):
+                count += join_process(emitted)
+        for emitted in sync.close_stream(i):
+            count += join_process(emitted)
+    for emitted in sync.flush():
+        count += join_process(emitted)
+    return count + join_flush()
+
+
+def main():
+    dataset = make_d3_syn(
+        duration_ms=seconds(60),
+        seed=5,
+        inter_arrival_ms=100,
+        max_delay_ms=seconds(6),
+        skew_change_interval_ms=(seconds(10), seconds(20)),
+        value_skew_range=(0.0, 2.0),
+    )
+    print(dataset.describe())
+
+    mjoin_keys = replay_sorted(dataset, MSWJOperator(WINDOWS, CONDITION))
+    tree = TreeJoinOperator(WINDOWS, CONDITION)
+    tree_keys = replay_sorted(dataset, tree, tree.flush)
+    print(
+        f"\nsorted replay: MJoin {len(mjoin_keys)} results, "
+        f"tree {len(tree_keys)} results, identical={mjoin_keys == tree_keys}"
+    )
+
+    truth = compute_truth(dataset, WINDOWS, CONDITION)
+    print(f"\ndisordered replay behind a fixed K-slack front end:")
+    print(f"{'K (s)':>6} {'MJoin recall':>13} {'tree recall':>12}")
+    for k_ms in (0, seconds(1), seconds(3)):
+        mjoin_op = MSWJOperator(WINDOWS, CONDITION, collect_results=False)
+        mjoin_count = replay_disordered(dataset, mjoin_op.process, lambda: 0, k_ms)
+        tree_op = TreeJoinOperator(WINDOWS, CONDITION, collect_results=False)
+        tree_count = replay_disordered(dataset, tree_op.process, tree_op.flush, k_ms)
+        print(
+            f"{k_ms / 1000:>6.1f} {mjoin_count / truth.index.total:>13.3f} "
+            f"{tree_count / truth.index.total:>12.3f}"
+        )
+    print(
+        "\nThe same quality-driven front end drives either execution\n"
+        "strategy — the binary tree matches the monolithic operator."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""M-way equi-joins under disorder — the paper's Q×3 and Q×4 scenarios.
+
+Runs the 3-way chain equi-join over D×3syn and the 4-way star equi-join
+over D×4syn (scaled), comparing the model-based approach against both
+baselines at a fixed recall requirement.  Demonstrates that the
+framework is agnostic to the number of streams and to the join shape.
+
+Run with::
+
+    python examples/multiway_equijoin.py
+"""
+
+from repro.core.tuples import seconds
+from repro.experiments.configs import d3_experiment, d4_experiment
+from repro.experiments.runner import make_policy, run_experiment
+
+GAMMA = 0.95
+
+
+def show(experiment):
+    print(experiment.dataset().describe())
+    print(f"true join results: {experiment.truth().index.total}")
+    print(f"{'policy':<24} {'avg K (s)':>10} {'avg recall':>11} {'Phi(.99G)':>10}")
+    for policy_name in ("no-k-slack", "max-k-slack", "model-eqsel", "model-noneqsel"):
+        outcome = run_experiment(
+            experiment,
+            make_policy(policy_name, GAMMA),
+            gamma=GAMMA,
+            period_ms=seconds(15),
+        )
+        print(
+            f"{outcome.policy:<24} {outcome.average_k_s:>10.2f} "
+            f"{outcome.average_recall:>11.3f} {outcome.phi99:>10.2f}"
+        )
+    print()
+
+
+def main():
+    print(f"recall requirement G = {GAMMA}\n")
+    print("=== 3-way chain equi-join (D3syn, Q3) ===")
+    show(d3_experiment(seed=21))
+    print("=== 4-way star equi-join (D4syn, Q4) ===")
+    show(d4_experiment(seed=22))
+    print(
+        "Same framework, different m and join shapes: the Same-K policy\n"
+        "(Theorem 1) means one buffer size drives all input streams."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Quickstart: quality-driven disorder handling for a 2-way stream join.
+
+Builds a small two-stream equi-join workload with injected disorder, then
+runs it through the framework three times:
+
+* No-K-slack (no intra-stream disorder handling) — fast but lossy;
+* Max-K-slack (buffer = max observed delay) — near-lossless but slow;
+* the paper's model-based approach at Γ = 0.95 — just enough buffering.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    EquiPredicate,
+    JoinCondition,
+    MaxKSlackPolicy,
+    ModelBasedPolicy,
+    NoKSlackPolicy,
+    NonEqSel,
+    PipelineConfig,
+    QualityDrivenPipeline,
+    ZipfDelayModel,
+    compute_truth,
+    seconds,
+)
+from repro.streams.generators import (
+    AttributeSpec,
+    SyntheticStreamConfig,
+    generate_dataset,
+)
+from repro.streams.seeding import derived_rng
+
+
+def build_dataset():
+    """Two streams, 20 tuples/s, Zipf delays up to 5 s, join attribute a1."""
+    configs = []
+    for stream in range(2):
+        configs.append(
+            SyntheticStreamConfig(
+                attributes=[
+                    AttributeSpec(
+                        name="a1",
+                        domain=list(range(1, 51)),
+                        initial_skew=1.0,
+                        time_varying=False,
+                    )
+                ],
+                delay_model=ZipfDelayModel(
+                    max_delay=seconds(5),
+                    skew=2.0,
+                    step=50,
+                    rng=derived_rng("quickstart", stream),
+                ),
+                inter_arrival_ms=50,
+            )
+        )
+    return generate_dataset(configs, duration_ms=seconds(60), seed=7, name="quickstart")
+
+
+def run_policy(dataset, condition, windows, policy, gamma=0.95):
+    pipeline = QualityDrivenPipeline(
+        PipelineConfig(
+            window_sizes_ms=windows,
+            condition=condition,
+            gamma=gamma,
+            period_ms=seconds(10),
+            interval_ms=seconds(1),
+            policy=policy,
+            collect_results=False,
+        )
+    )
+    for t in dataset.arrivals():
+        pipeline.process(t)
+    pipeline.flush()
+    return pipeline
+
+
+def main():
+    dataset = build_dataset()
+    print(dataset.describe())
+    windows = [seconds(5), seconds(5)]
+    condition = JoinCondition([EquiPredicate(0, "a1", 1, "a1")])
+
+    truth = compute_truth(dataset, windows, condition)
+    print(f"true join results: {truth.index.total}\n")
+
+    policies = [
+        ("No-K-slack", NoKSlackPolicy()),
+        ("Max-K-slack", MaxKSlackPolicy()),
+        ("Model-based (G=0.95)", ModelBasedPolicy(NonEqSel())),
+    ]
+    print(f"{'policy':<22} {'avg K (s)':>10} {'recall':>8} {'avg latency (s)':>16}")
+    for name, policy in policies:
+        pipeline = run_policy(dataset, condition, windows, policy)
+        metrics = pipeline.metrics
+        recall = metrics.results_produced / truth.index.total
+        print(
+            f"{name:<22} {metrics.average_k_ms(pipeline.app_time_ms()) / 1000:>10.2f} "
+            f"{recall:>8.3f} {metrics.average_latency_ms() / 1000:>16.2f}"
+        )
+    print(
+        "\nThe model-based policy lands between the two baselines: most of\n"
+        "Max-K-slack's recall at a fraction of its buffering latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

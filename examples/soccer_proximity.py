@@ -1,0 +1,57 @@
+"""Soccer proximity monitoring — the paper's Q×2 scenario.
+
+Two streams of player positions (one per team, simulated in the spirit of
+the DEBS 2013 trace) are joined on a user-defined distance predicate:
+"find all moments when two opposing players are within 5 m of each other
+inside a 5-second window".  Sensor-network delays make both streams
+arrive out of order; the example sweeps the recall requirement Γ and
+shows the latency/quality frontier the user can pick from.
+
+Run with::
+
+    python examples/soccer_proximity.py
+"""
+
+from repro.core.tuples import seconds
+from repro.experiments.configs import soccer_experiment
+from repro.experiments.runner import make_policy, run_experiment
+
+
+def main():
+    experiment = soccer_experiment(scale=0.8, seed=11)
+    dataset = experiment.dataset()
+    print(dataset.describe())
+    print(f"query: players of opposite teams within 5 m, windows of 5 s")
+    print(f"true proximity events: {experiment.truth().index.total}\n")
+
+    print(
+        f"{'requirement':<14} {'avg K (s)':>10} {'avg recall':>11} "
+        f"{'Phi(G)':>8} {'Phi(.99G)':>10}"
+    )
+    reference = run_experiment(
+        experiment, make_policy("max-k-slack"), gamma=0.99, period_ms=seconds(15)
+    )
+    for gamma in (0.9, 0.95, 0.99):
+        outcome = run_experiment(
+            experiment,
+            make_policy("model-noneqsel", gamma),
+            gamma=gamma,
+            period_ms=seconds(15),
+        )
+        print(
+            f"G = {gamma:<9} {outcome.average_k_s:>10.2f} "
+            f"{outcome.average_recall:>11.3f} {outcome.phi:>8.2f} "
+            f"{outcome.phi99:>10.2f}"
+        )
+    print(
+        f"{'Max-K-slack':<14} {reference.average_k_s:>10.2f} "
+        f"{reference.average_recall:>11.3f} {'-':>8} {'-':>10}"
+    )
+    print(
+        "\nLower G → smaller sorting buffers → fresher alerts; the operator\n"
+        "dials the tradeoff instead of paying worst-case latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

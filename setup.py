@@ -1,0 +1,5 @@
+"""Legacy shim: this environment's setuptools lacks bdist_wheel (no network),
+so `pip install -e . --no-use-pep517` needs a setup.py entry point."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""ADWIN adaptive windowing (Bifet & Gavalda 2007), used by the Statistics Manager."""
+
+from .adwin import Adwin
+
+__all__ = ["Adwin"]

@@ -1,0 +1,233 @@
+"""ADWIN: ADaptive WINdowing with change detection (Bifet & Gavaldà 2007).
+
+The paper's Statistics Manager sizes each stream's delay-history window
+``R_i^stat`` with "the adaptive window approach proposed in [25]" — ADWIN.
+ADWIN maintains a window of the most recent values of a (bounded) signal
+and shrinks it whenever two adjacent sub-windows have averages that differ
+by more than a threshold derived from the Hoeffding bound; the window
+therefore grows on stationary input and collapses to recent data after a
+distribution change.
+
+This is the ADWIN2 variant: the window is stored as an exponential
+histogram of buckets (at most ``max_buckets`` buckets per capacity level),
+so memory is ``O(max_buckets · log(n))`` and each update is amortized
+``O(log n)``.  Cut checks are performed every ``clock`` insertions, as in
+the reference implementation.
+
+The delta parameter is the change-detector confidence: smaller delta means
+fewer false alarms but slower reaction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+class _Bucket:
+    """A bucket holds the sum and variance contribution of 2^level items."""
+
+    __slots__ = ("total", "variance")
+
+    def __init__(self, total: float = 0.0, variance: float = 0.0) -> None:
+        self.total = total
+        self.variance = variance
+
+
+class _BucketRow:
+    """All buckets of one capacity level (each covering 2^level items)."""
+
+    __slots__ = ("buckets",)
+
+    def __init__(self) -> None:
+        self.buckets: List[_Bucket] = []
+
+
+class Adwin:
+    """Adaptive sliding window with Hoeffding-bound change detection.
+
+    Parameters
+    ----------
+    delta:
+        Confidence parameter of the change detector (default 0.002, the
+        value used throughout the ADWIN literature).
+    max_buckets:
+        Maximum number of buckets per exponential-histogram row.
+    clock:
+        Number of insertions between cut checks (amortizes the scan).
+    min_window:
+        Do not attempt cuts while the window is smaller than this.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.002,
+        max_buckets: int = 5,
+        clock: int = 32,
+        min_window: int = 16,
+    ) -> None:
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        if max_buckets < 1:
+            raise ValueError("max_buckets must be >= 1")
+        self.delta = delta
+        self.max_buckets = max_buckets
+        self.clock = clock
+        self.min_window = min_window
+        self._rows: List[_BucketRow] = [_BucketRow()]
+        self._total = 0.0
+        self._variance = 0.0
+        self._width = 0
+        self._ticks = 0
+        self._detections = 0
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Current window length (number of items)."""
+        return self._width
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def detections(self) -> int:
+        """How many distribution changes have been detected so far."""
+        return self._detections
+
+    def mean(self) -> float:
+        """Average of the items currently in the window (0.0 when empty)."""
+        return self._total / self._width if self._width else 0.0
+
+    def variance(self) -> float:
+        """Sample variance of the window content (0.0 when empty)."""
+        return self._variance / self._width if self._width else 0.0
+
+    def update(self, value: float) -> bool:
+        """Insert ``value``; return True if a change was detected (window cut)."""
+        self._insert(value)
+        self._ticks += 1
+        if self._ticks % self.clock != 0 or self._width < self.min_window:
+            return False
+        return self._detect_and_cut()
+
+    # ------------------------------------------------------------------
+    # exponential-histogram maintenance
+    # ------------------------------------------------------------------
+
+    def _insert(self, value: float) -> None:
+        row0 = self._rows[0]
+        row0.buckets.insert(0, _Bucket(total=value, variance=0.0))
+        if self._width > 0:
+            mean = self._total / self._width
+            self._variance += (
+                self._width / (self._width + 1.0) * (value - mean) * (value - mean)
+            )
+        self._width += 1
+        self._total += value
+        self._compress()
+
+    def _compress(self) -> None:
+        level = 0
+        while level < len(self._rows):
+            row = self._rows[level]
+            if len(row.buckets) <= self.max_buckets:
+                break
+            # Merge the two oldest buckets of this row into the next row.
+            older = row.buckets.pop()
+            newer = row.buckets.pop()
+            capacity = 1 << level
+            mean_older = older.total / capacity
+            mean_newer = newer.total / capacity
+            merged_variance = (
+                older.variance
+                + newer.variance
+                + capacity
+                * capacity
+                / (2.0 * capacity)
+                * (mean_older - mean_newer) ** 2
+            )
+            merged = _Bucket(total=older.total + newer.total, variance=merged_variance)
+            if level + 1 == len(self._rows):
+                self._rows.append(_BucketRow())
+            self._rows[level + 1].buckets.insert(0, merged)
+            level += 1
+
+    def _drop_oldest(self) -> None:
+        """Remove the single oldest bucket (the tail of the highest row)."""
+        for level in range(len(self._rows) - 1, -1, -1):
+            row = self._rows[level]
+            if row.buckets:
+                bucket = row.buckets.pop()
+                capacity = 1 << level
+                if self._width > capacity:
+                    mean_bucket = bucket.total / capacity
+                    mean_rest = (self._total - bucket.total) / (self._width - capacity)
+                    self._variance -= bucket.variance + (
+                        capacity
+                        * (self._width - capacity)
+                        / self._width
+                        * (mean_bucket - mean_rest) ** 2
+                    )
+                    self._variance = max(0.0, self._variance)
+                else:
+                    self._variance = 0.0
+                self._width -= capacity
+                self._total -= bucket.total
+                break
+        while len(self._rows) > 1 and not self._rows[-1].buckets:
+            self._rows.pop()
+
+    # ------------------------------------------------------------------
+    # change detection
+    # ------------------------------------------------------------------
+
+    def _detect_and_cut(self) -> bool:
+        """Check every bucket boundary for a significant mean difference.
+
+        Scans from the oldest boundary toward the newest; on detection the
+        oldest bucket is dropped and the scan restarts, exactly as in the
+        reference ADWIN2 pseudocode.
+        """
+        changed = False
+        reduced = True
+        while reduced:
+            reduced = False
+            # Walk boundaries from oldest to newest, accumulating the
+            # "old half" statistics.
+            n0 = 0.0
+            sum0 = 0.0
+            for level in range(len(self._rows) - 1, -1, -1):
+                capacity = float(1 << level)
+                for bucket in reversed(self._rows[level].buckets):
+                    n0 += capacity
+                    sum0 += bucket.total
+                    n1 = self._width - n0
+                    if n0 < 1 or n1 < 1:
+                        continue
+                    mean0 = sum0 / n0
+                    mean1 = (self._total - sum0) / n1
+                    if self._cut_expression(n0, n1, mean0, mean1):
+                        self._drop_oldest()
+                        self._detections += 1
+                        changed = True
+                        reduced = self._width > self.min_window
+                        break
+                if reduced:
+                    break
+        return changed
+
+    def _cut_expression(self, n0: float, n1: float, mean0: float, mean1: float) -> bool:
+        """Hoeffding-style test: is |mean0 - mean1| above epsilon_cut?"""
+        n = float(self._width)
+        harmonic = 1.0 / (1.0 / n0 + 1.0 / n1)
+        delta_prime = self.delta / math.log(max(n, math.e))
+        variance = self.variance()
+        epsilon = math.sqrt(
+            2.0 / harmonic * variance * math.log(2.0 / delta_prime)
+        ) + 2.0 / (3.0 * harmonic) * math.log(2.0 / delta_prime)
+        return abs(mean0 - mean1) > epsilon

@@ -1,0 +1,1 @@
+"""Core framework: K-slack, Synchronizer, adaptation, model, pipeline (paper Fig. 2)."""

@@ -1,0 +1,106 @@
+"""The K-slack input-sorting buffer (paper Sec. III-A, Fig. 3).
+
+K-slack handles *intra-stream* disorder: a buffer of ``K`` time units
+holds back tuples of one stream and releases them in timestamp order.
+Whenever the stream's local current time ``iT`` (maximum timestamp seen)
+advances, every buffered tuple ``e`` with ``e.ts + K <= iT`` is emitted,
+smallest timestamp first.  A tuple whose delay exceeds ``K`` cannot be
+fully re-ordered and leaves the buffer still out of order, but with its
+delay reduced by ``K`` (paper Fig. 3).
+
+The buffer size ``K`` is dynamic: the Buffer-Size Manager updates it at
+every adaptation step via :meth:`KSlackBuffer.set_k`.  Shrinking ``K``
+releases newly-eligible tuples immediately.
+
+On entry each tuple is annotated with its raw delay
+``delay(e) = iT - e.ts`` (paper Sec. IV-B); the annotation rides along to
+the join operator for productivity profiling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from .tuples import StreamTuple
+
+
+class KSlackBuffer:
+    """Sorting buffer of one input stream with a dynamic slack ``K``.
+
+    Parameters
+    ----------
+    k_ms:
+        Initial buffer size in milliseconds (``K_i``); 0 means pass-through
+        (tuples are forwarded at arrival, still annotated with their delay).
+    """
+
+    def __init__(self, k_ms: int = 0) -> None:
+        if k_ms < 0:
+            raise ValueError(f"K must be non-negative, got {k_ms}")
+        self._k = int(k_ms)
+        self._local_time: Optional[int] = None
+        self._heap: List = []  # (ts, tie, tuple)
+        self._tie = 0
+        self.tuples_seen = 0
+        self.max_observed_delay = 0
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def set_k(self, k_ms: int) -> List[StreamTuple]:
+        """Update ``K``; returns tuples released if the buffer shrank."""
+        if k_ms < 0:
+            raise ValueError(f"K must be non-negative, got {k_ms}")
+        shrank = k_ms < self._k
+        self._k = int(k_ms)
+        return self._drain_ready() if shrank else []
+
+    @property
+    def local_time(self) -> int:
+        """The stream's local current time ``iT`` (0 before any tuple)."""
+        return self._local_time if self._local_time is not None else 0
+
+    @property
+    def buffered(self) -> int:
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # streaming interface
+    # ------------------------------------------------------------------
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        """Accept one tuple in arrival order; return tuples released now.
+
+        Annotates the tuple's :attr:`~repro.core.tuples.StreamTuple.delay`
+        with ``iT - e.ts`` *after* updating ``iT`` (a tuple that advances
+        the local time has delay 0).
+        """
+        if self._local_time is None or t.ts > self._local_time:
+            self._local_time = t.ts
+        t.delay = self._local_time - t.ts
+        self.max_observed_delay = max(self.max_observed_delay, t.delay)
+        self.tuples_seen += 1
+        heapq.heappush(self._heap, (t.ts, self._tie, t))
+        self._tie += 1
+        return self._drain_ready()
+
+    def _drain_ready(self) -> List[StreamTuple]:
+        if self._local_time is None:
+            return []
+        released: List[StreamTuple] = []
+        bound = self._local_time - self._k
+        while self._heap and self._heap[0][0] <= bound:
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def flush(self) -> List[StreamTuple]:
+        """Release everything still buffered (end of stream), in ts order."""
+        released = [entry[2] for entry in sorted(self._heap)]
+        self._heap.clear()
+        return released

@@ -1,0 +1,273 @@
+"""The analytical recall model ``γ(L, K)`` (paper Sec. IV-A, Eqs. 1–5).
+
+Given a candidate buffer size ``K``, the model predicts the recall of the
+join results that would be produced during the next adaptation interval:
+
+* Eq. 2 transforms each stream's raw coarse-delay pdf ``f_{D_i}`` into the
+  pdf ``f_{D_i^K}`` of delays *as seen by the join operator*: every delay
+  is reduced by the total slack ``K + K_i^sync`` (K-slack buffer plus the
+  stream's implicit synchronizer slack), clamping at zero.
+* Eq. 3 estimates the expected cardinality of each *basic window* segment
+  ``w_i^l`` (size ``b``) of the window on ``S_i``: older segments are more
+  complete because late tuples whose timestamps fall there have had time
+  to arrive and be inserted (Alg. 2 lines 9–10).
+* Eq. 1 / Eq. 4 estimate the true and produced result sizes; their ratio,
+  scaled by the selectivity ratio ``sel(K)/sel`` (Sec. IV-B), is the
+  estimated recall γ(L, K) (Eq. 5).  The interval length ``L`` and the
+  rate products cancel in the ratio.
+
+Performance: Alg. 3 evaluates γ for K = 0, g, 2g, … up to MaxDH — easily
+thousands of candidates per adaptation step.  A naive evaluation is
+O(Σ_i W_i / b) *per candidate*; this module precomputes cumulative and
+stride-prefix sums of each pdf once per adaptation step so each candidate
+costs O(m).  (This is an implementation optimization only; the computed
+values equal the direct evaluation of Eqs. 2–5, which the test suite
+checks against a brute-force reference.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+class CumulativePdf:
+    """Cumulative distribution of a coarse-delay pdf with fast range sums.
+
+    ``cdf(x)`` returns ``Pr[D <= x]`` (1.0 beyond the support), and
+    :meth:`strided_sum` returns ``sum_{l=0}^{terms-1} cdf(start + l*step)``
+    in O(1) using per-residue prefix tables built lazily per step.
+    """
+
+    def __init__(self, pdf: Sequence[float]) -> None:
+        if not pdf:
+            raise ValueError("pdf must be non-empty")
+        self._cdf: List[float] = []
+        acc = 0.0
+        for p in pdf:
+            acc += p
+            self._cdf.append(min(acc, 1.0))
+        self._max_index = len(self._cdf) - 1
+        self._stride_tables: Dict[int, List[List[float]]] = {}
+
+    def cdf(self, x: int) -> float:
+        if x < 0:
+            return 0.0
+        if x >= self._max_index:
+            return self._cdf[self._max_index]
+        return self._cdf[x]
+
+    @property
+    def support_max(self) -> int:
+        return self._max_index
+
+    def _table_for(self, step: int) -> List[List[float]]:
+        table = self._stride_tables.get(step)
+        if table is None:
+            table = []
+            for residue in range(step):
+                prefixes: List[float] = []
+                acc = 0.0
+                index = residue
+                while index <= self._max_index:
+                    acc += self._cdf[index]
+                    prefixes.append(acc)
+                    index += step
+                table.append(prefixes)
+            self._stride_tables[step] = table
+        return table
+
+    def strided_sum(self, start: int, step: int, terms: int) -> float:
+        """``sum_{l=0}^{terms-1} cdf(start + l * step)`` with step >= 1."""
+        if terms <= 0:
+            return 0.0
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        if start < 0:
+            # cdf(x) = 0 for x < 0: skip the all-negative prefix.
+            skip = min(terms, (-start + step - 1) // step)
+            start += skip * step
+            terms -= skip
+            if terms <= 0:
+                return 0.0
+        tail_value = self._cdf[self._max_index]
+        if start > self._max_index:
+            return terms * tail_value
+        # Split: indices inside the table vs. saturated tail (cdf == cdf[max]).
+        inside_terms = min(terms, (self._max_index - start) // step + 1)
+        saturated_terms = terms - inside_terms
+        residue = start % step
+        offset = start // step
+        prefixes = self._table_for(step)[residue]
+        total = prefixes[offset + inside_terms - 1]
+        if offset > 0:
+            total -= prefixes[offset - 1]
+        return total + saturated_terms * tail_value
+
+
+@dataclass
+class StreamModelInput:
+    """Everything the model needs to know about one input stream."""
+
+    pdf: Sequence[float]       # coarse-delay pdf f_{D_i} (index = bucket)
+    ksync_ms: float            # estimated synchronizer slack K_i^sync
+    rate_per_ms: float         # arrival rate r_i
+    window_ms: int             # window size W_i
+
+
+class RecallModel:
+    """Evaluates Eqs. 1–5 for a fixed adaptation step.
+
+    Build one instance per adaptation step (the pdfs, rates and slacks are
+    that step's snapshot), then call :meth:`gamma` for each candidate K.
+
+    Parameters
+    ----------
+    inputs:
+        Per-stream model inputs (``m`` entries).
+    basic_window_ms:
+        The basic-window size ``b``.
+    granularity_ms:
+        The K-search granularity ``g`` (also the delay-bucket width).
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[StreamModelInput],
+        basic_window_ms: int,
+        granularity_ms: int,
+    ) -> None:
+        if len(inputs) < 2:
+            raise ValueError("the model needs at least two streams")
+        if basic_window_ms <= 0 or granularity_ms <= 0:
+            raise ValueError("basic window and granularity must be positive")
+        self.inputs = list(inputs)
+        self.b = int(basic_window_ms)
+        self.g = int(granularity_ms)
+        self._cpdfs = [CumulativePdf(s.pdf) for s in self.inputs]
+        #: ceil(W_i / b): number of basic windows per stream.
+        self._segments = [
+            (s.window_ms + self.b - 1) // self.b for s in self.inputs
+        ]
+        #: per-stream synchronizer slack in ms (floored to int).
+        self._ksync_ms = [int(s.ksync_ms) for s in self.inputs]
+        #: fast path 1: when g divides b, segment completeness indices
+        #: advance by a constant integer stride (O(1) strided sums).
+        self._uniform_stride = self.b % self.g == 0
+        #: fast path 2: when b divides g, the index sequence is a staircase
+        #: (g/b consecutive segments share a bucket) — also O(1).
+        self._staircase = not self._uniform_stride and self.g % self.b == 0
+
+    # ------------------------------------------------------------------
+    # Eq. 2: delay pdf as seen by the join operator
+    # ------------------------------------------------------------------
+
+    def slack_ms(self, stream: int, k_ms: int) -> int:
+        """Total sorting slack of ``stream`` under K = ``k_ms``: K + K_i^sync."""
+        return k_ms + self._ksync_ms[stream]
+
+    def in_order_probability(self, stream: int, k_ms: int) -> float:
+        """``f_{D_i^K}(0)``: probability a tuple reaches the join in order.
+
+        A tuple with coarse delay ``d`` is fully re-ordered iff its delay
+        does not exceed the total slack, i.e. ``d <= slack // g``.
+        """
+        return self._cpdfs[stream].cdf(self.slack_ms(stream, k_ms) // self.g)
+
+    # ------------------------------------------------------------------
+    # Eq. 3: expected window cardinality
+    # ------------------------------------------------------------------
+
+    def expected_window_cardinality(self, stream: int, k_ms: int) -> float:
+        """``sum_l |w_stream^l|``: expected live tuples in the window.
+
+        Segment ``l`` (1-based; segment 1 is the most recent) has
+        completeness ``Pr[D_i^K <= (l-1)·b]``, i.e. the cdf at coarse index
+        ``(slack + (l-1)·b) // g``.
+        """
+        s = self.inputs[stream]
+        cpdf = self._cpdfs[stream]
+        slack = self.slack_ms(stream, k_ms)
+        n = self._segments[stream]
+        if self._uniform_stride:
+            # (slack + l·b) // g == slack//g + l·(b//g) exactly when g | b.
+            body = self.b * cpdf.strided_sum(slack // self.g, self.b // self.g, n - 1)
+        elif self._staircase:
+            body = self.b * self._staircase_sum(cpdf, slack, n - 1)
+        else:
+            body = self.b * sum(
+                cpdf.cdf((slack + l * self.b) // self.g) for l in range(n - 1)
+            )
+        tail_span = s.window_ms - (n - 1) * self.b
+        tail = tail_span * cpdf.cdf((slack + (n - 1) * self.b) // self.g)
+        return s.rate_per_ms * (body + tail)
+
+    def _staircase_sum(self, cpdf: CumulativePdf, slack: int, terms: int) -> float:
+        """``sum_{l=0}^{terms-1} cdf((slack + l·b) // g)`` for b | g, in O(1).
+
+        The index ``(slack + l·b) // g`` stays at ``j0 = slack // g`` for
+        the first ``r`` terms (until ``slack + l·b`` crosses the next
+        multiple of g) and then advances by one every ``q = g / b`` terms.
+        """
+        if terms <= 0:
+            return 0.0
+        q = self.g // self.b
+        j0 = slack // self.g
+        # Terms still inside bucket j0: l with slack + l*b < (j0+1)*g.
+        r = min(terms, ((j0 + 1) * self.g - slack + self.b - 1) // self.b)
+        total = r * cpdf.cdf(j0)
+        remaining = terms - r
+        if remaining <= 0:
+            return total
+        full_groups = remaining // q
+        if full_groups:
+            total += q * cpdf.strided_sum(j0 + 1, 1, full_groups)
+        leftover = remaining - full_groups * q
+        if leftover:
+            total += leftover * cpdf.cdf(j0 + 1 + full_groups)
+        return total
+
+    # ------------------------------------------------------------------
+    # Eqs. 1, 4, 5
+    # ------------------------------------------------------------------
+
+    def true_result_rate(self) -> float:
+        """Cross-join true-result rate per ms (Eq. 1 without sel and L)."""
+        total = 0.0
+        for i, s in enumerate(self.inputs):
+            product = s.rate_per_ms
+            for j, other in enumerate(self.inputs):
+                if j != i:
+                    product *= other.rate_per_ms * other.window_ms
+            total += product
+        return total
+
+    def produced_result_rate(self, k_ms: int) -> float:
+        """Cross-join produced-result rate per ms under K (Eq. 4 w/o sel, L)."""
+        total = 0.0
+        for i, s in enumerate(self.inputs):
+            product = s.rate_per_ms * self.in_order_probability(i, k_ms)
+            for j in range(len(self.inputs)):
+                if j != i:
+                    product *= self.expected_window_cardinality(j, k_ms)
+            total += product
+        return total
+
+    def gamma(self, k_ms: int, sel_ratio: float = 1.0) -> float:
+        """Estimated recall γ(L, K) for buffer size ``k_ms`` (Eq. 5).
+
+        ``sel_ratio`` is ``sel(K)/sel`` from the selectivity strategy
+        (1.0 under EqSel).  The result is clamped to [0, 1]: the model's
+        independence assumptions can otherwise push the estimate slightly
+        above 1 when windows are effectively complete.
+        """
+        true_rate = self.true_result_rate()
+        if true_rate <= 0.0:
+            return 1.0
+        ratio = sel_ratio * self.produced_result_rate(k_ms) / true_rate
+        return max(0.0, min(1.0, ratio))
+
+    def estimated_true_results(self, interval_ms: int, selectivity: float = 1.0) -> float:
+        """``N_true^on(L)`` via Eq. 1 (used as a cross-check; the pipeline
+        prefers the profiler-based estimate, paper Sec. IV-C)."""
+        return selectivity * self.true_result_rate() * interval_ms

@@ -1,0 +1,304 @@
+"""The end-to-end quality-driven disorder handling pipeline (paper Fig. 2).
+
+Wires together, per input stream, a :class:`~repro.core.kslack.KSlackBuffer`
+(intra-stream disorder), then a shared
+:class:`~repro.core.synchronizer.Synchronizer` (inter-stream disorder), the
+:class:`~repro.join.mswj.MSWJOperator`, and the management plane: the
+Statistics Manager, the Tuple-Productivity Profiler, the Result-Size
+Monitor, and a :class:`~repro.core.adaptation.BufferSizePolicy` acting as
+the Buffer-Size Manager.
+
+The pipeline is driven in *arrival order*: call :meth:`process` once per
+raw tuple.  Every ``L`` milliseconds of application time (the maximum
+local current time across streams) an adaptation step runs: the profiler
+maps are snapshotted, the instant requirement is derived, the policy
+picks the next K, and all K-slack buffers are updated together (the
+Same-K policy).  An optional ``on_adaptation`` callback fires right
+before each step — the experiment harness uses it to take the paper's
+γ(P) measurements.
+
+Call :meth:`flush` after the last tuple to drain all buffers (finite
+datasets; the paper's streams are endless so Alg. 1/2 never flush).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..join.conditions import JoinCondition
+from ..join.mswj import MSWJOperator
+from ..join.ordering import ProbeOrderPolicy
+from .adaptation import AdaptationContext, BufferSizePolicy, ModelBasedPolicy
+from .kslack import KSlackBuffer
+from .profiler import TupleProductivityProfiler
+from .result_monitor import ResultSizeMonitor
+from .selectivity import NonEqSel
+from .statistics import StatisticsManager
+from .synchronizer import Synchronizer
+from .tuples import JoinResult, StreamTuple
+
+
+@dataclass
+class PipelineConfig:
+    """User-facing configuration of the framework (paper Table I symbols).
+
+    ``gamma`` is the recall requirement Γ, ``period_ms`` the measurement
+    period P, ``interval_ms`` the adaptation interval L (must not exceed
+    P), ``basic_window_ms`` the basic-window size b, and
+    ``granularity_ms`` the K-search granularity g.  Defaults follow the
+    paper's default parameter configuration (P = 1 min, b = g = 10 ms,
+    L = 1 s).
+    """
+
+    window_sizes_ms: Sequence[int]
+    condition: JoinCondition
+    gamma: float = 0.95
+    period_ms: int = 60_000
+    interval_ms: int = 1_000
+    basic_window_ms: int = 10
+    granularity_ms: int = 10
+    policy: Optional[BufferSizePolicy] = None
+    probe_order: Optional[ProbeOrderPolicy] = None
+    collect_results: bool = True
+    adwin_delta: float = 0.002
+    initial_k_ms: int = 0
+    #: DPcorr-map smoothing across adaptation intervals (0 = paper-exact
+    #: last-interval-only; see TupleProductivityProfiler).
+    profiler_smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.interval_ms > self.period_ms:
+            raise ValueError(
+                f"adaptation interval L ({self.interval_ms}) must not exceed "
+                f"measurement period P ({self.period_ms})"
+            )
+        if self.basic_window_ms <= 0 or self.granularity_ms <= 0:
+            raise ValueError("basic window b and granularity g must be positive")
+
+
+@dataclass
+class PipelineMetrics:
+    """Metrics accumulated over one pipeline run."""
+
+    #: (app_time_ms, k_ms) pairs; a new entry whenever K changes.
+    k_history: List[Tuple[int, int]] = field(default_factory=list)
+    #: wall-clock seconds spent inside policy.decide() per adaptation step.
+    adaptation_seconds: List[float] = field(default_factory=list)
+    adaptations: int = 0
+    results_produced: int = 0
+    tuples_processed: int = 0
+    latency_sum_ms: int = 0
+    latency_count: int = 0
+    latency_max_ms: int = 0
+
+    def average_latency_ms(self) -> float:
+        return self.latency_sum_ms / self.latency_count if self.latency_count else 0.0
+
+    def average_adaptation_seconds(self) -> float:
+        if not self.adaptation_seconds:
+            return 0.0
+        return sum(self.adaptation_seconds) / len(self.adaptation_seconds)
+
+    def average_k_ms(self, end_time_ms: Optional[int] = None) -> float:
+        """Time-weighted average K over the run (the paper's "Avg. K")."""
+        if not self.k_history:
+            return 0.0
+        if end_time_ms is None:
+            end_time_ms = self.k_history[-1][0]
+        weighted = 0.0
+        span = 0
+        for index, (start, k) in enumerate(self.k_history):
+            end = (
+                self.k_history[index + 1][0]
+                if index + 1 < len(self.k_history)
+                else max(end_time_ms, start)
+            )
+            duration = max(0, end - start)
+            weighted += k * duration
+            span += duration
+        if span == 0:
+            return float(self.k_history[-1][1])
+        return weighted / span
+
+
+#: Invoked right before each adaptation step: (pipeline, app_time_ms).
+AdaptationCallback = Callable[["QualityDrivenPipeline", int], None]
+#: Invoked whenever results are produced: (result_ts_ms, count).
+ResultsCallback = Callable[[int, int], None]
+
+
+class QualityDrivenPipeline:
+    """The complete framework of paper Fig. 2 as a push-based operator."""
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        on_adaptation: Optional[AdaptationCallback] = None,
+        on_results: Optional[ResultsCallback] = None,
+    ) -> None:
+        self.config = config
+        self.num_streams = len(config.window_sizes_ms)
+        self.policy = config.policy or ModelBasedPolicy(NonEqSel())
+        self.kslacks = [
+            KSlackBuffer(config.initial_k_ms) for _ in range(self.num_streams)
+        ]
+        self.synchronizer = Synchronizer(self.num_streams)
+        self.profiler = TupleProductivityProfiler(
+            config.granularity_ms, smoothing=config.profiler_smoothing
+        )
+        self.statistics = StatisticsManager(
+            self.num_streams, config.granularity_ms, config.adwin_delta
+        )
+        self.monitor = ResultSizeMonitor(config.period_ms, config.interval_ms)
+        self.join = MSWJOperator(
+            config.window_sizes_ms,
+            config.condition,
+            probe_order=config.probe_order,
+            productivity_callback=self.profiler.record,
+            collect_results=config.collect_results,
+        )
+        self.metrics = PipelineMetrics()
+        self.metrics.k_history.append((0, config.initial_k_ms))
+        self._current_k = config.initial_k_ms
+        self._next_adaptation_ms = config.interval_ms
+        self._on_adaptation = on_adaptation
+        self._on_results = on_results
+        self._flushed = False
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def current_k_ms(self) -> int:
+        return self._current_k
+
+    def app_time_ms(self) -> int:
+        """Global application-time progress (max local time across streams)."""
+        return self.statistics.app_time()
+
+    # ------------------------------------------------------------------
+    # streaming interface
+    # ------------------------------------------------------------------
+
+    def process(self, t: StreamTuple) -> Union[List[JoinResult], int]:
+        """Feed one raw tuple (arrival order); return results produced now."""
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        if not 0 <= t.stream < self.num_streams:
+            raise ValueError(
+                f"tuple stream index {t.stream} outside [0, {self.num_streams})"
+            )
+        self.metrics.tuples_processed += 1
+        released = self.kslacks[t.stream].process(t)
+        self.statistics.observe_arrival(t)
+
+        # Continuous policies (Max-K-slack) may bump K at any arrival.
+        immediate_k = self.policy.on_arrival(t)
+        if immediate_k is not None and immediate_k != self._current_k:
+            released.extend(self._apply_k(immediate_k))
+
+        outputs = self._route_to_join(released)
+
+        # Interval adaptation on application-time boundaries.
+        while self.app_time_ms() >= self._next_adaptation_ms:
+            boundary = self._next_adaptation_ms
+            self._next_adaptation_ms += self.config.interval_ms
+            outputs = self._merge(outputs, self._adapt(boundary))
+        return outputs
+
+    def flush(self) -> Union[List[JoinResult], int]:
+        """Drain every buffer at end of input; returns the final results."""
+        if self._flushed:
+            return [] if self.config.collect_results else 0
+        self._flushed = True
+        outputs: Union[List[JoinResult], int] = [] if self.config.collect_results else 0
+        for stream, kslack in enumerate(self.kslacks):
+            outputs = self._merge(outputs, self._route_to_join(kslack.flush()))
+            emitted = self.synchronizer.close_stream(stream)
+            outputs = self._merge(outputs, self._feed_join(emitted))
+        outputs = self._merge(outputs, self._feed_join(self.synchronizer.flush()))
+        return outputs
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _merge(
+        self,
+        accumulated: Union[List[JoinResult], int],
+        new: Union[List[JoinResult], int],
+    ) -> Union[List[JoinResult], int]:
+        if self.config.collect_results:
+            accumulated.extend(new)  # type: ignore[union-attr,arg-type]
+            return accumulated
+        return accumulated + new  # type: ignore[operator]
+
+    def _route_to_join(self, released: List[StreamTuple]) -> Union[List[JoinResult], int]:
+        outputs: Union[List[JoinResult], int] = [] if self.config.collect_results else 0
+        for t in released:
+            emitted = self.synchronizer.process(t)
+            outputs = self._merge(outputs, self._feed_join(emitted))
+        return outputs
+
+    def _feed_join(self, emitted: List[StreamTuple]) -> Union[List[JoinResult], int]:
+        outputs: Union[List[JoinResult], int] = [] if self.config.collect_results else 0
+        app_now = self.app_time_ms()
+        for t in emitted:
+            if t.arrival >= 0:
+                waited = app_now - t.arrival
+                if waited > 0:
+                    self.metrics.latency_sum_ms += waited
+                    self.metrics.latency_max_ms = max(
+                        self.metrics.latency_max_ms, waited
+                    )
+                self.metrics.latency_count += 1
+            produced = self.join.process(t)
+            count = len(produced) if self.config.collect_results else produced
+            if count:
+                self.metrics.results_produced += count
+                self.monitor.record_produced(t.ts, count)
+                if self._on_results is not None:
+                    self._on_results(t.ts, count)
+            outputs = self._merge(outputs, produced)
+        return outputs
+
+    def _apply_k(self, k_ms: int) -> List[StreamTuple]:
+        """Set K on all K-slack buffers (Same-K); collect early releases."""
+        self._current_k = k_ms
+        self.metrics.k_history.append((self.app_time_ms(), k_ms))
+        released: List[StreamTuple] = []
+        for kslack in self.kslacks:
+            released.extend(kslack.set_k(k_ms))
+        return released
+
+    def _adapt(self, boundary_ms: int) -> Union[List[JoinResult], int]:
+        """One adaptation step at application time ``boundary_ms``."""
+        if self._on_adaptation is not None:
+            self._on_adaptation(self, boundary_ms)
+        snapshot = self.profiler.snapshot_and_reset()
+        self.monitor.record_true_estimate(snapshot.true_result_estimate())
+        context = AdaptationContext(
+            statistics=self.statistics,
+            profile=snapshot,
+            monitor=self.monitor,
+            gamma_target=self.config.gamma,
+            interval_ms=self.config.interval_ms,
+            basic_window_ms=self.config.basic_window_ms,
+            granularity_ms=self.config.granularity_ms,
+            window_sizes_ms=self.config.window_sizes_ms,
+            now_ts=boundary_ms,
+            current_k_ms=self._current_k,
+        )
+        started = time.perf_counter()
+        new_k = self.policy.decide(context)
+        self.metrics.adaptation_seconds.append(time.perf_counter() - started)
+        self.metrics.adaptations += 1
+        released: List[StreamTuple] = []
+        if new_k != self._current_k:
+            released = self._apply_k(new_k)
+        return self._route_to_join(released)

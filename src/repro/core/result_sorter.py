@@ -1,0 +1,86 @@
+"""Output-side disorder handling: sorting the *result* stream.
+
+The paper's introduction (footnote 2) discusses the alternative to
+input-side sorting: let the join emit results out of order and sort the
+result stream with a bounded buffer, discarding results that are still
+out of order after the buffer so the "in-order output" contract holds —
+at the cost of losing exactly those results.
+
+:class:`ResultSorter` implements that operator over
+:class:`~repro.core.tuples.JoinResult` streams.  It mirrors the K-slack
+release rule on result timestamps (release when ``r.ts + K <= maxTs``)
+and *drops* stragglers that arrive with ``ts`` below the already-emitted
+high-water mark, counting them in :attr:`ResultSorter.discarded`.
+
+The ablation benchmark uses it to contrast input-side against
+output-side handling: output-side sorting cannot recover results the
+join never produced, so for the same buffer size it bounds from below
+the quality of the paper's input-side approach.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from .tuples import JoinResult
+
+
+class ResultSorter:
+    """Bounded buffer enforcing in-order release of a result stream."""
+
+    def __init__(self, k_ms: int) -> None:
+        if k_ms < 0:
+            raise ValueError(f"K must be non-negative, got {k_ms}")
+        self._k = int(k_ms)
+        self._heap: List = []  # (ts, tie, result)
+        self._tie = 0
+        self._max_seen = 0
+        self._emitted_watermark = -1
+        self.emitted = 0
+        self.discarded = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def buffered(self) -> int:
+        return len(self._heap)
+
+    def process(self, result: JoinResult) -> List[JoinResult]:
+        """Accept one (possibly out-of-order) result; return releases.
+
+        A result whose timestamp is already below the emission watermark
+        cannot be re-ordered by any future release and is discarded to
+        preserve the in-order output contract.
+        """
+        if result.ts < self._emitted_watermark:
+            self.discarded += 1
+            return []
+        if result.ts > self._max_seen:
+            self._max_seen = result.ts
+        heapq.heappush(self._heap, (result.ts, self._tie, result))
+        self._tie += 1
+        return self._drain_ready()
+
+    def _drain_ready(self) -> List[JoinResult]:
+        released: List[JoinResult] = []
+        bound = self._max_seen - self._k
+        while self._heap and self._heap[0][0] <= bound:
+            ts, _, result = heapq.heappop(self._heap)
+            self._emitted_watermark = max(self._emitted_watermark, ts)
+            self.emitted += 1
+            released.append(result)
+        return released
+
+    def flush(self) -> List[JoinResult]:
+        """Release everything still buffered, in timestamp order."""
+        released = [entry[2] for entry in sorted(self._heap)]
+        self._heap.clear()
+        if released:
+            self._emitted_watermark = max(
+                self._emitted_watermark, released[-1].ts
+            )
+        self.emitted += len(released)
+        return released

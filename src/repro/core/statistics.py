@@ -1,0 +1,207 @@
+"""The Statistics Manager (paper Fig. 2, Sec. IV-A).
+
+Monitors the *raw* input streams and maintains, per stream ``S_i``:
+
+* the tuple-delay distribution ``f_{D_i}`` as a histogram over the
+  coarse-grained delay (bucket 0 for delay 0, bucket ``d`` for delay in
+  ``((d-1)·g, d·g]``), built over a window ``R_i^stat`` of the stream's
+  recent history whose length is set adaptively by ADWIN [25] on the raw
+  delay signal;
+* the average synchronizer slack sample ``K̄_i^sync`` over the same
+  window.  Per Proposition 1 the sample is taken on the raw streams as
+  ``iT - min_j jT`` regardless of the K value currently applied;
+* the arrival rate ``r_i`` (tuples per millisecond), from the arrival
+  times of the tuples in ``R_i^stat``;
+* ``MaxDH`` inputs: the largest coarse delay present in the window.
+
+All quantities are maintained incrementally (O(1) amortized per tuple):
+the deques hold the raw values, a dict of bucket counts backs the
+histogram, and running sums back the averages.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..adwin.adwin import Adwin
+from .tuples import StreamTuple
+
+
+def coarse_delay(delay_ms: int, granularity_ms: int) -> int:
+    """Map a delay to its coarse bucket: 0 ↔ 0, ``((d-1)g, dg]`` ↔ ``d``."""
+    if delay_ms <= 0:
+        return 0
+    return (delay_ms + granularity_ms - 1) // granularity_ms
+
+
+class StreamStatistics:
+    """Adaptive-window statistics of one input stream."""
+
+    def __init__(self, granularity_ms: int, adwin_delta: float = 0.002) -> None:
+        if granularity_ms <= 0:
+            raise ValueError(f"granularity must be positive, got {granularity_ms}")
+        self.granularity_ms = granularity_ms
+        self._adwin = Adwin(delta=adwin_delta)
+        self._delays: Deque[int] = deque()
+        self._arrivals: Deque[int] = deque()
+        self._ksyncs: Deque[int] = deque()
+        self._bucket_counts: Dict[int, int] = {}
+        self._ksync_sum = 0
+        self.tuples_observed = 0
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def observe(self, delay_ms: int, arrival_ms: int, ksync_ms: Optional[int]) -> None:
+        """Record one tuple of this stream (delay annotation already set)."""
+        self.tuples_observed += 1
+        self._adwin.update(float(delay_ms))
+        self._delays.append(delay_ms)
+        self._arrivals.append(arrival_ms)
+        bucket = coarse_delay(delay_ms, self.granularity_ms)
+        self._bucket_counts[bucket] = self._bucket_counts.get(bucket, 0) + 1
+        if ksync_ms is not None:
+            self._ksyncs.append(ksync_ms)
+            self._ksync_sum += ksync_ms
+        self._trim_to_adwin_width()
+
+    def _trim_to_adwin_width(self) -> None:
+        """Keep the deques no longer than ADWIN's current window width."""
+        width = max(1, self._adwin.width)
+        while len(self._delays) > width:
+            old = self._delays.popleft()
+            self._arrivals.popleft()
+            bucket = coarse_delay(old, self.granularity_ms)
+            remaining = self._bucket_counts.get(bucket, 0) - 1
+            if remaining <= 0:
+                self._bucket_counts.pop(bucket, None)
+            else:
+                self._bucket_counts[bucket] = remaining
+        while len(self._ksyncs) > width:
+            self._ksync_sum -= self._ksyncs.popleft()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def window_length(self) -> int:
+        """Current length of R_i^stat in tuples."""
+        return len(self._delays)
+
+    def delay_pdf(self) -> List[float]:
+        """Coarse-delay pdf ``f_{D_i}`` as a dense list (index = bucket).
+
+        Returns ``[1.0]`` (all mass on delay 0) when nothing was observed,
+        which makes downstream model code total-probability-safe.
+        """
+        total = len(self._delays)
+        if total == 0:
+            return [1.0]
+        max_bucket = max(self._bucket_counts)
+        pdf = [0.0] * (max_bucket + 1)
+        for bucket, count in self._bucket_counts.items():
+            pdf[bucket] = count / total
+        return pdf
+
+    def max_coarse_delay(self) -> int:
+        """Largest coarse delay bucket present in R_i^stat (0 when empty)."""
+        return max(self._bucket_counts) if self._bucket_counts else 0
+
+    def mean_ksync(self) -> float:
+        """Average synchronizer-slack sample over R_i^stat (ms)."""
+        return self._ksync_sum / len(self._ksyncs) if self._ksyncs else 0.0
+
+    def rate_per_ms(self) -> float:
+        """Arrival rate in tuples per millisecond over R_i^stat."""
+        if len(self._arrivals) < 2:
+            return 0.0
+        span = self._arrivals[-1] - self._arrivals[0]
+        if span <= 0:
+            return 0.0
+        return (len(self._arrivals) - 1) / span
+
+    @property
+    def adwin_detections(self) -> int:
+        return self._adwin.detections
+
+
+class StatisticsManager:
+    """Aggregates per-stream statistics over the raw input streams.
+
+    The pipeline calls :meth:`observe_arrival` once per raw tuple, *after*
+    the stream's K-slack buffer updated the local time and attached the
+    delay annotation.  Local times are tracked here redundantly so the
+    manager can also be used standalone (e.g. in tests).
+    """
+
+    def __init__(
+        self,
+        num_streams: int,
+        granularity_ms: int,
+        adwin_delta: float = 0.002,
+    ) -> None:
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+        self.num_streams = num_streams
+        self.granularity_ms = granularity_ms
+        self.streams = [
+            StreamStatistics(granularity_ms, adwin_delta) for _ in range(num_streams)
+        ]
+        self._local_times = [0] * num_streams
+        self._seen = [False] * num_streams
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+
+    def observe_arrival(self, t: StreamTuple) -> None:
+        """Record one raw-arrival tuple (with its delay annotation set)."""
+        i = t.stream
+        if not 0 <= i < self.num_streams:
+            raise ValueError(f"stream index {i} outside [0, {self.num_streams})")
+        if not self._seen[i] or t.ts > self._local_times[i]:
+            self._local_times[i] = t.ts
+            self._seen[i] = True
+        ksync = None
+        if all(self._seen):
+            ksync = self._local_times[i] - min(self._local_times)
+        self.streams[i].observe(t.delay, t.arrival, ksync)
+
+    # ------------------------------------------------------------------
+    # queries feeding the recall model
+    # ------------------------------------------------------------------
+
+    def local_time(self, stream: int) -> int:
+        return self._local_times[stream]
+
+    def app_time(self) -> int:
+        """Global progress: the maximum local current time over all streams."""
+        return max(self._local_times)
+
+    def delay_pdfs(self) -> List[List[float]]:
+        return [s.delay_pdf() for s in self.streams]
+
+    def ksync_estimates_ms(self) -> List[float]:
+        """Per-stream ``K_i^sync`` estimates: ``K̄_i^sync - min_j K̄_j^sync``.
+
+        (Paper Sec. IV-A; the subtraction re-bases the averages so the
+        slowest stream gets 0.)
+        """
+        means = [s.mean_ksync() for s in self.streams]
+        floor = min(means)
+        return [mean - floor for mean in means]
+
+    def rates_per_ms(self) -> List[float]:
+        return [s.rate_per_ms() for s in self.streams]
+
+    def max_delay_ms(self) -> int:
+        """``MaxDH``: the largest delay within the monitored histories (ms).
+
+        Reported as the upper edge of the largest occupied coarse bucket,
+        consistent with the g-granular search in Alg. 3.
+        """
+        worst_bucket = max(s.max_coarse_delay() for s in self.streams)
+        return worst_bucket * self.granularity_ms

@@ -1,0 +1,131 @@
+"""The Synchronizer: inter-stream disorder handling (paper Alg. 1).
+
+The Synchronizer merges the output streams of all K-slack components into
+a single stream that is (partially) sorted and synchronized.  It keeps a
+buffer ``SyncBuf`` and a variable ``T_sync`` tracking the maximum
+timestamp among tuples that have left the buffer:
+
+* A tuple ``e`` with ``e.ts > T_sync`` is inserted into the buffer; then,
+  while the buffer holds at least one tuple of *each* stream, the minimum
+  timestamp present becomes the new ``T_sync`` and every buffered tuple
+  with that timestamp is emitted (Alg. 1 lines 4–8).
+* A tuple with ``e.ts <= T_sync`` is a straggler the buffer cannot fix; it
+  is emitted immediately, still out of order (lines 9–10).
+
+The buffer thereby implicitly re-orders the *leading* streams with an
+effective extra slack ``K_i^sync`` equal to the stream's timestamp lead
+over the slowest stream — the quantity the Same-K analysis (Theorem 1)
+is built on.
+
+Finite-run additions (not in the paper's pseudocode, which assumes
+endless streams): :meth:`close_stream` marks a stream as ended so it no
+longer gates emission, and :meth:`flush` drains the buffer at end of
+input.  Both preserve the ordering invariants.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from .tuples import StreamTuple
+
+
+class Synchronizer:
+    """Merge m (partially sorted) streams into one synchronized stream."""
+
+    def __init__(self, num_streams: int) -> None:
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+        self.num_streams = num_streams
+        self._t_sync = 0
+        self._heap: List = []  # (ts, tie, tuple)
+        self._tie = 0
+        self._counts = [0] * num_streams
+        self._closed = [False] * num_streams
+        self._buffered_total = 0
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def t_sync(self) -> int:
+        """Maximum timestamp among tuples that have left the buffer."""
+        return self._t_sync
+
+    @property
+    def buffered(self) -> int:
+        return self._buffered_total
+
+    def buffered_of(self, stream: int) -> int:
+        return self._counts[stream]
+
+    # ------------------------------------------------------------------
+    # Alg. 1
+    # ------------------------------------------------------------------
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        """Accept one tuple from any K-slack output; return tuples emitted.
+
+        Follows Alg. 1 exactly: tuples with ``ts <= T_sync`` are stragglers
+        the buffer cannot fix and are forwarded immediately (with the
+        ``T_sync`` initial value 0, a tuple timestamped 0 passes straight
+        through — harmless, as nothing can precede it).
+        """
+        if not 0 <= t.stream < self.num_streams:
+            raise ValueError(
+                f"tuple stream index {t.stream} outside [0, {self.num_streams})"
+            )
+        if t.ts <= self._t_sync:
+            return [t]
+        self._push(t)
+        return self._drain_while_complete()
+
+    def close_stream(self, stream: int) -> List[StreamTuple]:
+        """Mark ``stream`` as ended; it stops gating emission.
+
+        Returns any tuples that become emittable because of the closure.
+        """
+        self._closed[stream] = True
+        return self._drain_while_complete()
+
+    def flush(self) -> List[StreamTuple]:
+        """Emit the whole buffer in timestamp order (end of all input)."""
+        emitted: List[StreamTuple] = []
+        while self._heap:
+            ts, _, t = heapq.heappop(self._heap)
+            self._counts[t.stream] -= 1
+            self._buffered_total -= 1
+            if ts > self._t_sync:
+                self._t_sync = ts
+            emitted.append(t)
+        return emitted
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _push(self, t: StreamTuple) -> None:
+        heapq.heappush(self._heap, (t.ts, self._tie, t))
+        self._tie += 1
+        self._counts[t.stream] += 1
+        self._buffered_total += 1
+
+    def _complete(self) -> bool:
+        """True when the buffer holds >= 1 tuple of every open stream."""
+        return all(
+            self._counts[i] > 0 or self._closed[i] for i in range(self.num_streams)
+        )
+
+    def _drain_while_complete(self) -> List[StreamTuple]:
+        emitted: List[StreamTuple] = []
+        while self._heap and self._complete():
+            min_ts = self._heap[0][0]
+            self._t_sync = max(self._t_sync, min_ts)
+            while self._heap and self._heap[0][0] == min_ts:
+                _, _, t = heapq.heappop(self._heap)
+                self._counts[t.stream] -= 1
+                self._buffered_total -= 1
+                emitted.append(t)
+        return emitted

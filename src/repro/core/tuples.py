@@ -1,0 +1,164 @@
+"""Core tuple and time model for the stream-join framework.
+
+The whole library uses **integer milliseconds** as the application-time unit.
+Using integers keeps every comparison in the K-slack release condition
+(``e.ts + K <= iT``), window expiration (``e.ts < trigger.ts - W``) and the
+adaptation schedule exact; there is no floating-point drift anywhere in the
+time arithmetic.  Helpers :func:`seconds` and :func:`ms` convert to and from
+this canonical unit.
+
+Two tuple kinds flow through the system:
+
+* :class:`StreamTuple` — an input tuple.  It carries the application
+  timestamp ``ts`` assigned at the data source, the payload ``values``
+  (a mapping from attribute name to value), and bookkeeping metadata filled
+  in as the tuple travels through the framework (its stream index, a
+  per-stream sequence number, the simulated arrival time, and the delay
+  annotation attached by the disorder-handling layer, cf. paper Sec. IV-B).
+
+* :class:`JoinResult` — a result tuple derived from one input tuple per
+  stream.  Its timestamp is the timestamp of the in-order tuple whose
+  arrival triggered the probe (paper Alg. 2), which equals the maximum
+  timestamp among the deriving tuples for in-order processing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Tuple
+
+#: Number of milliseconds per second; the canonical unit is the millisecond.
+MS_PER_SECOND = 1000
+
+
+def seconds(value: float) -> int:
+    """Convert ``value`` seconds to integer milliseconds.
+
+    >>> seconds(5)
+    5000
+    >>> seconds(0.25)
+    250
+    """
+    return int(round(value * MS_PER_SECOND))
+
+
+def ms(value: float) -> int:
+    """Return ``value`` coerced to an integer number of milliseconds.
+
+    Exists for symmetry with :func:`seconds` so call sites can state their
+    unit explicitly: ``window=seconds(5), granularity=ms(10)``.
+    """
+    return int(round(value))
+
+
+def to_seconds(value_ms: float) -> float:
+    """Convert milliseconds back to (float) seconds, for reporting."""
+    return value_ms / MS_PER_SECOND
+
+
+class StreamTuple:
+    """A single input tuple of one stream.
+
+    Parameters
+    ----------
+    ts:
+        Application timestamp in integer milliseconds, assigned at the data
+        source.
+    values:
+        Attribute name → value mapping (the payload the join condition sees).
+    stream:
+        Index of the owning stream in ``[0, m)``.  Filled by the source or
+        generator; ``-1`` when not yet assigned.
+    seq:
+        Arrival sequence number within the stream (0-based).
+    arrival:
+        Simulated arrival (wall-clock) time in milliseconds; drives the
+        interleaving of streams in arrival order.
+
+    The attribute :attr:`delay` is *not* a constructor argument: it is the
+    delay annotation ``delay(e) = iT - e.ts`` attached when the tuple enters
+    the disorder-handling layer (paper Sec. II-A / IV-B) and carried through
+    the Synchronizer to the join operator.
+    """
+
+    __slots__ = ("ts", "values", "stream", "seq", "arrival", "delay")
+
+    def __init__(
+        self,
+        ts: int,
+        values: Optional[Mapping[str, Any]] = None,
+        stream: int = -1,
+        seq: int = -1,
+        arrival: int = -1,
+    ) -> None:
+        if ts < 0:
+            raise ValueError(f"timestamp must be non-negative, got {ts}")
+        self.ts = int(ts)
+        self.values = dict(values) if values else {}
+        self.stream = stream
+        self.seq = seq
+        self.arrival = arrival
+        self.delay: int = 0
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.values[attribute]
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        return self.values.get(attribute, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        payload = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
+        return f"StreamTuple(ts={self.ts}, stream={self.stream}, {{{payload}}})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamTuple):
+            return NotImplemented
+        return (
+            self.ts == other.ts
+            and self.stream == other.stream
+            and self.seq == other.seq
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ts, self.stream, self.seq))
+
+    def identity(self) -> Tuple[int, int, int]:
+        """Stable identity triple used by ground-truth comparison code."""
+        return (self.stream, self.seq, self.ts)
+
+
+class JoinResult:
+    """A join result tuple ``<e_1, ..., e_m>``.
+
+    ``components`` holds one :class:`StreamTuple` per input stream, indexed
+    by stream position.  ``ts`` is the timestamp assigned by the operator
+    (the triggering tuple's timestamp, paper Alg. 2 line 7).
+    """
+
+    __slots__ = ("ts", "components")
+
+    def __init__(self, ts: int, components: Tuple[StreamTuple, ...]) -> None:
+        self.ts = int(ts)
+        self.components = components
+
+    def key(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Canonical identity of the result: the identities of its parts.
+
+        Two runs that derive a result from the same input tuples produce
+        the same key, which is what the recall machinery compares.
+        """
+        return tuple(component.identity() for component in self.components)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"S{c.stream}#{c.seq}@{c.ts}" for c in self.components
+        )
+        return f"JoinResult(ts={self.ts}, [{parts}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JoinResult):
+            return NotImplemented
+        return self.ts == other.ts and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash((self.ts, self.key()))

@@ -1,0 +1,159 @@
+"""Watermark/punctuation-based disorder handling (related-work baseline).
+
+The paper assumes no stream-progress metadata is available and therefore
+buffers with K-slack (Sec. III: "we assume that there are no special
+tuples such as punctuations [15] or watermarks [22]").  Systems like
+MillWheel [22] and modern engines (Flink) take the other route: sources
+embed *watermarks* — promises that no tuple with a smaller timestamp will
+follow — and operators buffer until the watermark passes.
+
+This module provides that alternative front end so the two philosophies
+can be compared inside one framework:
+
+* :class:`WatermarkGenerator` — turns a raw stream into watermark
+  signals using the standard bounded-out-of-orderness heuristic
+  ``watermark = max_ts_seen - bound``.  A too-small bound breaks the
+  watermark promise exactly like real systems' heuristic watermarks do.
+* :class:`WatermarkBuffer` — a per-stream sorting buffer that releases
+  tuples (in timestamp order) once the watermark passes them; tuples
+  arriving below the watermark are *late* and forwarded immediately
+  (they will be out of order downstream), mirroring the K-slack
+  straggler behaviour so the downstream Synchronizer + MSWJ pipeline is
+  reused unchanged.
+
+With a perfectly chosen bound the watermark buffer behaves exactly like
+K-slack with ``K = bound`` — which is the paper's point: without oracle
+knowledge of the delay distribution, a fixed bound either over-buffers
+(latency) or breaks its promise (quality), whereas the quality-driven
+manager *adapts* the slack to the user's recall requirement.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from .tuples import StreamTuple
+
+
+class WatermarkGenerator:
+    """Bounded-out-of-orderness watermarks: ``max_ts_seen - bound``.
+
+    ``emit_every`` controls the watermark period in arrival counts
+    (real sources emit periodically rather than per tuple).
+    """
+
+    def __init__(self, bound_ms: int, emit_every: int = 1) -> None:
+        if bound_ms < 0:
+            raise ValueError(f"bound must be non-negative, got {bound_ms}")
+        if emit_every < 1:
+            raise ValueError(f"emit_every must be >= 1, got {emit_every}")
+        self.bound_ms = int(bound_ms)
+        self.emit_every = emit_every
+        self._max_ts: Optional[int] = None
+        self._since_emit = 0
+        self._last_watermark: Optional[int] = None
+
+    def observe(self, t: StreamTuple) -> Optional[int]:
+        """Observe one arrival; return a new watermark when one is due."""
+        if self._max_ts is None or t.ts > self._max_ts:
+            self._max_ts = t.ts
+        self._since_emit += 1
+        if self._since_emit < self.emit_every:
+            return None
+        self._since_emit = 0
+        watermark = max(0, self._max_ts - self.bound_ms)
+        if self._last_watermark is not None and watermark <= self._last_watermark:
+            return None
+        self._last_watermark = watermark
+        return watermark
+
+    @property
+    def current(self) -> int:
+        return self._last_watermark if self._last_watermark is not None else 0
+
+
+class WatermarkBuffer:
+    """Sorts one stream by holding tuples until the watermark passes them.
+
+    Tuples with ``ts <= watermark`` at arrival are *late* under the
+    watermark contract; they are forwarded immediately (still out of
+    order) and counted in :attr:`late_tuples` — the quality loss this
+    approach trades for its bounded latency.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List = []  # (ts, tie, tuple)
+        self._tie = 0
+        self._watermark = -1
+        self.late_tuples = 0
+        self.tuples_seen = 0
+
+    @property
+    def watermark(self) -> int:
+        return max(0, self._watermark)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._heap)
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        """Accept one tuple; returns it immediately if late, else buffers."""
+        self.tuples_seen += 1
+        if t.ts <= self._watermark:
+            self.late_tuples += 1
+            return [t]
+        heapq.heappush(self._heap, (t.ts, self._tie, t))
+        self._tie += 1
+        return []
+
+    def advance(self, watermark: int) -> List[StreamTuple]:
+        """Raise the watermark; release all tuples with ``ts <= watermark``."""
+        if watermark <= self._watermark:
+            return []
+        self._watermark = watermark
+        released: List[StreamTuple] = []
+        while self._heap and self._heap[0][0] <= watermark:
+            released.append(heapq.heappop(self._heap)[2])
+        return released
+
+    def flush(self) -> List[StreamTuple]:
+        """Release everything still buffered, in timestamp order."""
+        released = [entry[2] for entry in sorted(self._heap)]
+        self._heap.clear()
+        return released
+
+
+class WatermarkFrontEnd:
+    """Per-stream watermark generation + buffering, K-slack-compatible.
+
+    Drop-in replacement for a :class:`~repro.core.kslack.KSlackBuffer`
+    bank: feed raw tuples with :meth:`process`, get (mostly) sorted
+    tuples back, flush at end of input.  The delay annotation is set the
+    same way K-slack sets it, so the downstream statistics and profiling
+    keep working.
+    """
+
+    def __init__(self, num_streams: int, bound_ms: int, emit_every: int = 1) -> None:
+        self.generators = [
+            WatermarkGenerator(bound_ms, emit_every) for _ in range(num_streams)
+        ]
+        self.buffers = [WatermarkBuffer() for _ in range(num_streams)]
+        self._local_times = [0] * num_streams
+
+    def process(self, t: StreamTuple) -> List[StreamTuple]:
+        i = t.stream
+        if t.ts > self._local_times[i]:
+            self._local_times[i] = t.ts
+        t.delay = self._local_times[i] - t.ts
+        released = self.buffers[i].process(t)
+        watermark = self.generators[i].observe(t)
+        if watermark is not None:
+            released.extend(self.buffers[i].advance(watermark))
+        return released
+
+    def flush(self, stream: int) -> List[StreamTuple]:
+        return self.buffers[stream].flush()
+
+    def late_tuples(self) -> int:
+        return sum(b.late_tuples for b in self.buffers)

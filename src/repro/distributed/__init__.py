@@ -1,0 +1,1 @@
+"""Distributed MSWJ applicability (paper Sec. V): binary join trees with per-operator synchronizers."""

@@ -1,0 +1,1 @@
+"""Experiment harness: paper workload configs, instrumented runner, report formatting."""

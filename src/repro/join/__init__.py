@@ -1,0 +1,1 @@
+"""The m-way sliding window join engine: conditions, windows, probe ordering, Alg. 2."""

@@ -1,0 +1,275 @@
+"""Join condition algebra for m-way stream joins with arbitrary predicates.
+
+The paper's framework is generic: "supports MSWJs with arbitrary join
+conditions" (Sec. I) — equality predicates (Q×3, Q×4), user-defined theta
+predicates like the soccer distance function (Q×2), and conjunctions of
+both.  This module models a join condition as a conjunction of predicates,
+each declaring which streams it references so the MSWJ probe can evaluate
+a predicate as soon as all referenced streams are bound and can use hash
+indexes for equality predicates.
+
+Classes
+-------
+* :class:`EquiPredicate` — ``S_i.attr_a == S_j.attr_b``; index-assisted.
+* :class:`BandPredicate` — ``|S_i.attr_a - S_j.attr_b| <= band``; a common
+  stream-join shape (value proximity), evaluated by scan.
+* :class:`ThetaPredicate` — arbitrary boolean function over the bound
+  tuples of the streams it references (e.g. the soccer ``dist()`` UDF).
+* :class:`JoinCondition` — a conjunction; ``JoinCondition([])`` is the
+  cross join (always true).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.tuples import StreamTuple
+
+
+class Predicate(ABC):
+    """A boolean predicate over tuples of a fixed subset of streams."""
+
+    @property
+    @abstractmethod
+    def streams(self) -> FrozenSet[int]:
+        """Indices of the streams this predicate references."""
+
+    @abstractmethod
+    def evaluate(self, bound: Mapping[int, StreamTuple]) -> bool:
+        """Evaluate against ``bound`` (stream index → tuple).
+
+        Callers guarantee every referenced stream is present in ``bound``.
+        """
+
+
+class EquiPredicate(Predicate):
+    """Equality between one attribute of each of two streams.
+
+    ``EquiPredicate(0, "a1", 1, "a1")`` is ``S0.a1 == S1.a1``.
+    """
+
+    def __init__(self, left_stream: int, left_attr: str, right_stream: int, right_attr: str) -> None:
+        if left_stream == right_stream:
+            raise ValueError("equi predicate must reference two distinct streams")
+        self.left_stream = left_stream
+        self.left_attr = left_attr
+        self.right_stream = right_stream
+        self.right_attr = right_attr
+        self._streams = frozenset((left_stream, right_stream))
+
+    @property
+    def streams(self) -> FrozenSet[int]:
+        return self._streams
+
+    def evaluate(self, bound: Mapping[int, StreamTuple]) -> bool:
+        # Missing attributes read as None (mirroring the hash-index
+        # behaviour), so None == None matches rather than raising.
+        return (
+            bound[self.left_stream].get(self.left_attr)
+            == bound[self.right_stream].get(self.right_attr)
+        )
+
+    def side_for(self, stream: int) -> Tuple[str, int, str]:
+        """Return ``(attr_on_stream, other_stream, attr_on_other)``.
+
+        Used by the probe to turn "stream being bound next" into an index
+        lookup key derived from an already-bound stream.
+        """
+        if stream == self.left_stream:
+            return (self.left_attr, self.right_stream, self.right_attr)
+        if stream == self.right_stream:
+            return (self.right_attr, self.left_stream, self.left_attr)
+        raise ValueError(f"stream {stream} not referenced by this predicate")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"S{self.left_stream}.{self.left_attr} == "
+            f"S{self.right_stream}.{self.right_attr}"
+        )
+
+
+class BandPredicate(Predicate):
+    """``|S_i.attr_a - S_j.attr_b| <= band`` between two streams."""
+
+    def __init__(
+        self,
+        left_stream: int,
+        left_attr: str,
+        right_stream: int,
+        right_attr: str,
+        band: float,
+    ) -> None:
+        if left_stream == right_stream:
+            raise ValueError("band predicate must reference two distinct streams")
+        if band < 0:
+            raise ValueError(f"band must be non-negative, got {band}")
+        self.left_stream = left_stream
+        self.left_attr = left_attr
+        self.right_stream = right_stream
+        self.right_attr = right_attr
+        self.band = band
+        self._streams = frozenset((left_stream, right_stream))
+
+    @property
+    def streams(self) -> FrozenSet[int]:
+        return self._streams
+
+    def evaluate(self, bound: Mapping[int, StreamTuple]) -> bool:
+        left = bound[self.left_stream].get(self.left_attr)
+        right = bound[self.right_stream].get(self.right_attr)
+        if left is None or right is None:
+            return False
+        return abs(left - right) <= self.band
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"|S{self.left_stream}.{self.left_attr} - "
+            f"S{self.right_stream}.{self.right_attr}| <= {self.band}"
+        )
+
+
+class ThetaPredicate(Predicate):
+    """Arbitrary user-defined predicate over tuples of given streams.
+
+    ``fn`` receives the bound tuples of ``streams`` in the order given.
+    Example (the paper's Q×2 soccer condition)::
+
+        ThetaPredicate(
+            (0, 1),
+            lambda a, b: player_distance(a["x"], a["y"], b["x"], b["y"]) < 5,
+            name="dist<5",
+        )
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[int],
+        fn: Callable[..., bool],
+        name: Optional[str] = None,
+    ) -> None:
+        if len(set(streams)) != len(streams):
+            raise ValueError("streams must be distinct")
+        if not streams:
+            raise ValueError("theta predicate must reference at least one stream")
+        self._ordered_streams = tuple(streams)
+        self._streams = frozenset(streams)
+        self._fn = fn
+        self.name = name or getattr(fn, "__name__", "theta")
+
+    @property
+    def streams(self) -> FrozenSet[int]:
+        return self._streams
+
+    def evaluate(self, bound: Mapping[int, StreamTuple]) -> bool:
+        return bool(self._fn(*(bound[s] for s in self._ordered_streams)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        refs = ", ".join(f"S{s}" for s in self._ordered_streams)
+        return f"{self.name}({refs})"
+
+
+class JoinCondition:
+    """Conjunction of predicates; the empty conjunction is the cross join.
+
+    Pre-computes, for each stream, the equality predicates touching it and
+    the indexed attributes it needs, so the window layer knows which hash
+    indexes to maintain and the probe knows which lookups are available.
+    """
+
+    def __init__(self, predicates: Sequence[Predicate] = ()) -> None:
+        self.predicates: List[Predicate] = list(predicates)
+        self._equi_by_stream: Dict[int, List[EquiPredicate]] = {}
+        for predicate in self.predicates:
+            if isinstance(predicate, EquiPredicate):
+                for stream in predicate.streams:
+                    self._equi_by_stream.setdefault(stream, []).append(predicate)
+
+    @property
+    def is_cross_join(self) -> bool:
+        return not self.predicates
+
+    def referenced_streams(self) -> FrozenSet[int]:
+        refs: set = set()
+        for predicate in self.predicates:
+            refs |= predicate.streams
+        return frozenset(refs)
+
+    def indexed_attributes(self, stream: int) -> List[str]:
+        """Attributes of ``stream`` that appear in equality predicates.
+
+        The window on ``stream`` maintains one hash index per entry.
+        """
+        attrs: List[str] = []
+        for predicate in self._equi_by_stream.get(stream, ()):
+            attr, _, _ = predicate.side_for(stream)
+            if attr not in attrs:
+                attrs.append(attr)
+        return attrs
+
+    def equi_lookups(
+        self, stream: int, bound_streams: FrozenSet[int]
+    ) -> List[Tuple[str, int, str]]:
+        """Index lookups usable when binding ``stream`` given ``bound_streams``.
+
+        Returns ``(attr_on_stream, bound_stream, attr_on_bound)`` triples:
+        candidate tuples of ``stream`` can be fetched from the hash index
+        on ``attr_on_stream`` keyed by the bound tuple's value of
+        ``attr_on_bound``.
+        """
+        lookups: List[Tuple[str, int, str]] = []
+        for predicate in self._equi_by_stream.get(stream, ()):
+            attr, other, other_attr = predicate.side_for(stream)
+            if other in bound_streams:
+                lookups.append((attr, other, other_attr))
+        return lookups
+
+    def predicates_closed_by(
+        self, new_stream: int, bound_streams: FrozenSet[int]
+    ) -> List[Predicate]:
+        """Predicates that become fully bound when ``new_stream`` joins.
+
+        These are exactly the checks to run when extending a partial
+        binding by ``new_stream``: every referenced stream is either
+        already bound or is ``new_stream`` itself, and ``new_stream`` is
+        referenced (otherwise the predicate was checked earlier).
+        """
+        closed: List[Predicate] = []
+        extended = bound_streams | {new_stream}
+        for predicate in self.predicates:
+            if new_stream in predicate.streams and predicate.streams <= extended:
+                closed.append(predicate)
+        return closed
+
+    def evaluate(self, bound: Mapping[int, StreamTuple]) -> bool:
+        """Full evaluation; requires all referenced streams bound."""
+        return all(predicate.evaluate(bound) for predicate in self.predicates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.predicates:
+            return "JoinCondition(<cross join>)"
+        return "JoinCondition(" + " AND ".join(map(repr, self.predicates)) + ")"
+
+
+def equi_join_chain(attr: str, num_streams: int) -> JoinCondition:
+    """Chain equi-join ``S0.attr == S1.attr AND S1.attr == S2.attr ...``.
+
+    Matches the paper's Q×3 shape (``S1.a1=S2.a1 AND S2.a1=S3.a1``).
+    """
+    predicates = [
+        EquiPredicate(i, attr, i + 1, attr) for i in range(num_streams - 1)
+    ]
+    return JoinCondition(predicates)
+
+
+def star_equi_join(center: int, attr_map: Mapping[int, str]) -> JoinCondition:
+    """Star equi-join: the center stream matches each satellite on one attr.
+
+    ``star_equi_join(0, {1: "a1", 2: "a2", 3: "a3"})`` is the paper's Q×4
+    (``S1.a1=S2.a1 AND S1.a2=S3.a2 AND S1.a3=S4.a3``).
+    """
+    predicates = [
+        EquiPredicate(center, attr, satellite, attr)
+        for satellite, attr in attr_map.items()
+    ]
+    return JoinCondition(predicates)

@@ -1,0 +1,92 @@
+"""Probe-order heuristics for the MSWJ operator.
+
+Finding the optimal join order is orthogonal to the paper's contribution
+(Sec. II-A: "any existing work in this area can be applied"), but the
+operator still needs *some* order in which to bind the remaining streams
+when a new tuple triggers a probe.  Two standard heuristics are provided:
+
+* :class:`SmallestWindowFirst` — bind the stream with the smallest current
+  window cardinality next; cheap and effective when rates differ.
+* :class:`IndexAwareOrder` — prefer streams reachable through an equality
+  index from the already-bound set (so hash lookups replace scans), using
+  window cardinality as the tie-breaker.  This mirrors the classic
+  "connected, selective-first" ordering of MJoin implementations.
+
+Both are stateless policies over the current window cardinalities, so they
+re-adapt automatically as rates or window sizes drift.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from .conditions import JoinCondition
+from .window import SlidingWindow
+
+
+class ProbeOrderPolicy(ABC):
+    """Chooses the order in which non-trigger streams are bound."""
+
+    @abstractmethod
+    def order(
+        self,
+        trigger_stream: int,
+        windows: Sequence[SlidingWindow],
+        condition: JoinCondition,
+    ) -> List[int]:
+        """Return the probe order (stream indices, excluding the trigger)."""
+
+
+class SmallestWindowFirst(ProbeOrderPolicy):
+    """Bind streams in ascending order of current window cardinality."""
+
+    def order(
+        self,
+        trigger_stream: int,
+        windows: Sequence[SlidingWindow],
+        condition: JoinCondition,
+    ) -> List[int]:
+        others = [i for i in range(len(windows)) if i != trigger_stream]
+        others.sort(key=lambda i: (windows[i].cardinality, i))
+        return others
+
+
+class IndexAwareOrder(ProbeOrderPolicy):
+    """Prefer index-reachable streams; break ties by window cardinality.
+
+    Greedy construction: starting from the trigger stream, repeatedly pick
+    the unbound stream that (a) has an equality predicate connecting it to
+    a bound stream if any such stream exists, and (b) has the smallest
+    window among the candidates.  Streams not connected by any equality
+    predicate are appended last (they require scans anyway).
+    """
+
+    def order(
+        self,
+        trigger_stream: int,
+        windows: Sequence[SlidingWindow],
+        condition: JoinCondition,
+    ) -> List[int]:
+        remaining = {i for i in range(len(windows)) if i != trigger_stream}
+        bound = frozenset({trigger_stream})
+        ordered: List[int] = []
+        while remaining:
+            connected = [
+                i for i in remaining if condition.equi_lookups(i, bound)
+            ]
+            pool = connected if connected else sorted(remaining)
+            best = min(pool, key=lambda i: (windows[i].cardinality, i))
+            ordered.append(best)
+            remaining.discard(best)
+            bound = bound | {best}
+        return ordered
+
+
+def default_policy(condition: JoinCondition) -> ProbeOrderPolicy:
+    """Pick a sensible default: index-aware when equality predicates exist."""
+    has_equi = any(
+        condition.indexed_attributes(stream)
+        for stream in condition.referenced_streams()
+    )
+    return IndexAwareOrder() if has_equi else SmallestWindowFirst()

@@ -1,0 +1,128 @@
+"""Time-based sliding windows with hash indexes for equality predicates.
+
+Each input stream of an MSWJ carries a time-based sliding window of
+``W_i`` milliseconds (paper Sec. II-A).  The window supports the three
+operations Alg. 2 needs:
+
+* :meth:`SlidingWindow.insert` — add a tuple (in- or out-of-order);
+* :meth:`SlidingWindow.expire_before` — invalidate tuples with
+  ``ts < bound`` (Alg. 2 line 6);
+* probe access — either a full scan (:meth:`tuples`) or, for equality
+  predicates, an index lookup (:meth:`lookup`) on a maintained attribute.
+
+Out-of-order inserts mean window content is not timestamp-sorted on
+arrival, so expiration uses a min-heap on ``ts`` with lazy deletion: the
+heap may hold stale entries for already-removed tuples; they are skipped
+when popped.  All live tuples are kept in a dict keyed by an increasing
+slot id to give O(1) removal and stable iteration.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from ..core.tuples import StreamTuple
+
+
+class SlidingWindow:
+    """Window content of one stream, with optional per-attribute hash indexes.
+
+    Parameters
+    ----------
+    size_ms:
+        Window size ``W_i`` in milliseconds.
+    indexed_attributes:
+        Attribute names to maintain equality hash indexes for (derived
+        from the join condition via
+        :meth:`repro.join.conditions.JoinCondition.indexed_attributes`).
+    """
+
+    def __init__(self, size_ms: int, indexed_attributes: Sequence[str] = ()) -> None:
+        if size_ms <= 0:
+            raise ValueError(f"window size must be positive, got {size_ms}")
+        self.size_ms = int(size_ms)
+        self._slots: Dict[int, StreamTuple] = {}
+        self._next_slot = 0
+        self._heap: List = []  # (ts, slot)
+        self._indexes: Dict[str, Dict[object, Set[int]]] = {
+            attr: {} for attr in indexed_attributes
+        }
+
+    # ------------------------------------------------------------------
+    # content maintenance
+    # ------------------------------------------------------------------
+
+    def insert(self, t: StreamTuple) -> None:
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slots[slot] = t
+        heapq.heappush(self._heap, (t.ts, slot))
+        for attr, index in self._indexes.items():
+            value = t.get(attr)
+            index.setdefault(value, set()).add(slot)
+
+    def expire_before(self, bound_ts: int) -> int:
+        """Remove all tuples with ``ts < bound_ts``; return how many."""
+        removed = 0
+        while self._heap and self._heap[0][0] < bound_ts:
+            ts, slot = heapq.heappop(self._heap)
+            t = self._slots.pop(slot, None)
+            if t is None:
+                continue  # lazily deleted earlier
+            removed += 1
+            for attr, index in self._indexes.items():
+                value = t.get(attr)
+                bucket = index.get(value)
+                if bucket is not None:
+                    bucket.discard(slot)
+                    if not bucket:
+                        del index[value]
+        return removed
+
+    def clear(self) -> None:
+        self._slots.clear()
+        self._heap.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # ------------------------------------------------------------------
+    # probe access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._slots)
+
+    def tuples(self) -> Iterator[StreamTuple]:
+        """Iterate over live window content (unspecified order)."""
+        return iter(self._slots.values())
+
+    def has_index(self, attr: str) -> bool:
+        return attr in self._indexes
+
+    def lookup(self, attr: str, value: object) -> List[StreamTuple]:
+        """Tuples whose ``attr`` equals ``value`` (requires an index on attr)."""
+        index = self._indexes.get(attr)
+        if index is None:
+            raise KeyError(f"no index maintained on attribute {attr!r}")
+        slots = index.get(value)
+        if not slots:
+            return []
+        return [self._slots[slot] for slot in slots]
+
+    def min_ts(self) -> Optional[int]:
+        """Smallest live timestamp (None when empty); compacts stale heap heads."""
+        while self._heap:
+            ts, slot = self._heap[0]
+            if slot in self._slots:
+                return ts
+            heapq.heappop(self._heap)
+        return None
+
+    def timestamps(self) -> List[int]:
+        """Sorted list of live timestamps (test/diagnostic helper)."""
+        return sorted(t.ts for t in self._slots.values())

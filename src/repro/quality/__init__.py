@@ -1,0 +1,1 @@
+"""Result-quality measurement: ground truth, period recall, latency summaries."""

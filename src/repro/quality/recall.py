@@ -1,0 +1,142 @@
+"""Period-based recall measurement γ(P) and the fulfillment metric Φ(Γ).
+
+The paper's result-quality metric (Sec. II-B): at measurement time, the
+recall over the last ``P`` time units is
+
+    γ(P) = produced results with ts in (t - P, t]
+         / true results with ts in (t - P, t]
+
+where the "now" anchor ``t`` is the join operator's output progress
+(``onT``): because the framework's result stream is timestamp-ordered,
+every producible result with ``ts <= onT`` has been produced by then, so
+the measurement is well defined online.  Measurements are taken right
+before each adaptation step; those within the first warm-up period
+(default ``P``) are excluded from Φ statistics (paper Sec. VI, Metrics).
+
+Φ(Γ) is the fraction of measurements not lower than Γ; the paper also
+reports Φ(.99Γ), the fraction not lower than 99% of Γ.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .truth import TruthIndex
+
+
+@dataclass
+class RecallMeasurement:
+    """One γ(P) sample."""
+
+    at_ms: int
+    recall: float
+    produced: int
+    true: int
+
+
+class RecallMeter:
+    """Online recall measurement against a precomputed truth index."""
+
+    def __init__(
+        self,
+        truth: TruthIndex,
+        period_ms: int,
+        warmup_ms: Optional[int] = None,
+    ) -> None:
+        if period_ms <= 0:
+            raise ValueError(f"period must be positive, got {period_ms}")
+        self.truth = truth
+        self.period_ms = period_ms
+        self.warmup_ms = period_ms if warmup_ms is None else warmup_ms
+        self._produced_ts: List[int] = []
+        self._produced_cum: List[int] = []
+        self.measurements: List[RecallMeasurement] = []
+
+    # ------------------------------------------------------------------
+    # produced-results bookkeeping
+    # ------------------------------------------------------------------
+
+    def record_produced(self, result_ts: int, count: int = 1) -> None:
+        """Record ``count`` produced results with timestamp ``result_ts``.
+
+        The framework's output is timestamp-ordered, so appends dominate;
+        stragglers (possible only from terminal flushes) are folded in at
+        the right position to keep the cumulative array consistent.
+        """
+        if count <= 0:
+            return
+        if not self._produced_ts or result_ts >= self._produced_ts[-1]:
+            if self._produced_ts and result_ts == self._produced_ts[-1]:
+                self._produced_cum[-1] += count
+            else:
+                previous = self._produced_cum[-1] if self._produced_cum else 0
+                self._produced_ts.append(result_ts)
+                self._produced_cum.append(previous + count)
+        else:
+            index = bisect.bisect_left(self._produced_ts, result_ts)
+            if index < len(self._produced_ts) and self._produced_ts[index] == result_ts:
+                start = index
+            else:
+                previous = self._produced_cum[index - 1] if index else 0
+                self._produced_ts.insert(index, result_ts)
+                self._produced_cum.insert(index, previous)
+                start = index
+            for position in range(start, len(self._produced_cum)):
+                self._produced_cum[position] += count
+
+    def produced_in(self, lo_exclusive: int, hi_inclusive: int) -> int:
+        if hi_inclusive <= lo_exclusive or not self._produced_ts:
+            return 0
+        hi_index = bisect.bisect_right(self._produced_ts, hi_inclusive)
+        lo_index = bisect.bisect_right(self._produced_ts, lo_exclusive)
+        hi_cum = self._produced_cum[hi_index - 1] if hi_index else 0
+        lo_cum = self._produced_cum[lo_index - 1] if lo_index else 0
+        return hi_cum - lo_cum
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    def measure(self, now_ms: int) -> Optional[RecallMeasurement]:
+        """Take one γ(P) sample anchored at ``now_ms``.
+
+        Returns None (and records nothing) during warm-up or when the
+        period holds no true results (γ undefined).
+        """
+        if now_ms < self.warmup_ms:
+            return None
+        true = self.truth.count_in(now_ms - self.period_ms, now_ms)
+        if true <= 0:
+            return None
+        produced = self.produced_in(now_ms - self.period_ms, now_ms)
+        sample = RecallMeasurement(
+            at_ms=now_ms,
+            recall=min(1.0, produced / true),
+            produced=produced,
+            true=true,
+        )
+        self.measurements.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    # aggregate metrics
+    # ------------------------------------------------------------------
+
+    def average_recall(self) -> float:
+        if not self.measurements:
+            return 0.0
+        return sum(m.recall for m in self.measurements) / len(self.measurements)
+
+    def fulfillment(self, gamma: float, slack: float = 1.0) -> float:
+        """Φ: fraction of measurements with recall >= ``slack * gamma``.
+
+        ``slack=1.0`` gives the paper's Φ(Γ); ``slack=0.99`` gives Φ(.99Γ).
+        Returns 1.0 when there are no measurements (vacuously fulfilled).
+        """
+        if not self.measurements:
+            return 1.0
+        threshold = gamma * slack
+        satisfied = sum(1 for m in self.measurements if m.recall >= threshold)
+        return satisfied / len(self.measurements)

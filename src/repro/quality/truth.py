@@ -1,0 +1,103 @@
+"""Ground-truth join results via sorted replay (paper Sec. VI).
+
+"For each dataset, we generated a sorted version where tuples of all
+streams are globally ordered according to their timestamps.  By
+evaluating the query on the corresponding sorted dataset, we can obtain
+the true join results."  This module does exactly that: it replays the
+dataset in global timestamp order through a fresh
+:class:`~repro.join.mswj.MSWJOperator` (every tuple is then in order, so
+no disorder handling is needed) and indexes the resulting counts by
+result timestamp for O(log n) period queries.
+
+The :class:`TruthIndex` answers ``count_in(lo, hi]`` — the denominator of
+the period recall γ(P) — and can optionally retain the full result keys
+for set-level comparisons in tests (produced ⊆ true).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.tuples import JoinResult
+from ..join.conditions import JoinCondition
+from ..join.mswj import MSWJOperator
+from ..streams.source import Dataset
+
+
+class TruthIndex:
+    """Counts of true results, indexed by result timestamp."""
+
+    def __init__(self, ts_counts: Sequence[Tuple[int, int]]) -> None:
+        """``ts_counts``: (result_ts, count) pairs in non-decreasing ts order."""
+        self._ts: List[int] = []
+        self._cumulative: List[int] = []
+        running = 0
+        for ts, count in ts_counts:
+            if self._ts and ts < self._ts[-1]:
+                raise ValueError("ts_counts must be sorted by timestamp")
+            running += count
+            if self._ts and self._ts[-1] == ts:
+                self._cumulative[-1] = running
+            else:
+                self._ts.append(ts)
+                self._cumulative.append(running)
+        self.total = running
+
+    def count_in(self, lo_exclusive: int, hi_inclusive: int) -> int:
+        """Number of true results with ``lo < ts <= hi``."""
+        if hi_inclusive <= lo_exclusive:
+            return 0
+        hi_index = bisect.bisect_right(self._ts, hi_inclusive)
+        lo_index = bisect.bisect_right(self._ts, lo_exclusive)
+        hi_cum = self._cumulative[hi_index - 1] if hi_index else 0
+        lo_cum = self._cumulative[lo_index - 1] if lo_index else 0
+        return hi_cum - lo_cum
+
+    def count_up_to(self, hi_inclusive: int) -> int:
+        index = bisect.bisect_right(self._ts, hi_inclusive)
+        return self._cumulative[index - 1] if index else 0
+
+    def max_ts(self) -> int:
+        return self._ts[-1] if self._ts else 0
+
+
+class TruthResult:
+    """Ground-truth computation output: the index plus optional result keys."""
+
+    def __init__(self, index: TruthIndex, keys: Optional[Set[tuple]] = None) -> None:
+        self.index = index
+        self.keys = keys
+
+
+def compute_truth(
+    dataset: Dataset,
+    window_sizes_ms: Sequence[int],
+    condition: JoinCondition,
+    keep_keys: bool = False,
+) -> TruthResult:
+    """Replay ``dataset`` in timestamp order and collect true results.
+
+    ``keep_keys=True`` additionally retains the identity keys of every
+    result so tests can check that a disordered run produces a subset.
+    """
+    operator = MSWJOperator(
+        window_sizes_ms,
+        condition,
+        collect_results=keep_keys,
+    )
+    ts_counts: List[Tuple[int, int]] = []
+    keys: Optional[Set[tuple]] = set() if keep_keys else None
+    for t in dataset.sorted_by_timestamp():
+        produced = operator.process(t)
+        if keep_keys:
+            results: List[JoinResult] = produced  # type: ignore[assignment]
+            if results:
+                ts_counts.append((t.ts, len(results)))
+                assert keys is not None
+                keys.update(r.key() for r in results)
+        else:
+            count: int = produced  # type: ignore[assignment]
+            if count:
+                ts_counts.append((t.ts, count))
+    return TruthResult(TruthIndex(ts_counts), keys)

@@ -1,0 +1,1 @@
+"""Stream substrates: datasets, generators, delay (disorder) models, Zipf sampling."""

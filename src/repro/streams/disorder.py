@@ -1,0 +1,192 @@
+"""Delay models: how much later than its timestamp a tuple arrives.
+
+A *delay model* is the disorder-injection side of the simulation.  Each
+generated tuple ``e`` receives a delay ``d >= 0`` (integer ms) and is
+assigned ``e.ts = arrival_time - d`` (paper Sec. VI: "we increased iT by
+10 ms and chose a random delay ... we then set e.ts to iT - delay").
+A tuple with delay 0 is in order; the larger the delay, the further the
+tuple lags behind the stream's local current time when it arrives.
+
+Models provided:
+
+* :class:`ZipfDelayModel` — the paper's synthetic-dataset model: delays on
+  a discretized support ``0, step, 2*step, ..., max_delay`` drawn from a
+  bounded Zipf distribution (higher skew → more zero-delay tuples).
+* :class:`BurstyDelayModel` — a sensor-network-style model used by the
+  simulated soccer dataset: most tuples get small exponential jitter and a
+  small fraction falls into long uniform "burst" delays, capped by
+  ``max_delay``.  This mimics the heavy-tailed delays of the DEBS 2013
+  traces (max observed delays of ~22s and ~26s).
+* :class:`NoDelayModel` — in-order streams (delay 0), for controls.
+* :class:`PhasedDelayModel` — switches between underlying models at given
+  arrival times, used to exercise ADWIN-driven adaptation to changing
+  disorder patterns.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence, Tuple
+
+from .zipf import ZipfValueSampler
+
+
+class DelayModel(ABC):
+    """Produces a non-negative integer delay (ms) for each generated tuple."""
+
+    @abstractmethod
+    def sample(self, arrival: int) -> int:
+        """Return the delay of the tuple arriving at time ``arrival`` (ms)."""
+
+    @property
+    @abstractmethod
+    def max_delay(self) -> int:
+        """Upper bound of the delays this model can emit (ms)."""
+
+
+class NoDelayModel(DelayModel):
+    """Every tuple is in order (delay 0)."""
+
+    def sample(self, arrival: int) -> int:
+        return 0
+
+    @property
+    def max_delay(self) -> int:
+        return 0
+
+
+class ConstantDelayModel(DelayModel):
+    """Every tuple is delayed by the same fixed amount.
+
+    Constant delay produces *no* disorder within a stream (timestamps are
+    merely shifted), which makes it handy for testing inter-stream skew in
+    isolation.
+    """
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._delay = int(delay)
+
+    def sample(self, arrival: int) -> int:
+        return self._delay
+
+    @property
+    def max_delay(self) -> int:
+        return self._delay
+
+
+class ZipfDelayModel(DelayModel):
+    """The paper's delay model: Zipf over ``{0, step, 2*step, ..., max}``.
+
+    Parameters
+    ----------
+    max_delay:
+        Largest possible delay in ms (paper: 20 000 ms).
+    skew:
+        Zipf skew ``z_d``; the paper uses 2.0–4.0.  Rank 1 is delay 0, so a
+        larger skew yields more in-order tuples.
+    step:
+        Support granularity in ms (paper timestamps have 10 ms granularity).
+    rng:
+        Source of randomness.
+    """
+
+    def __init__(
+        self,
+        max_delay: int,
+        skew: float,
+        step: int = 10,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be non-negative, got {max_delay}")
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        self._max_delay = int(max_delay)
+        support = list(range(0, self._max_delay + 1, step))
+        self._sampler = ZipfValueSampler(support, skew, rng)
+
+    def sample(self, arrival: int) -> int:
+        return self._sampler.sample()
+
+    @property
+    def max_delay(self) -> int:
+        return self._max_delay
+
+    @property
+    def skew(self) -> float:
+        return self._sampler.skew
+
+
+class BurstyDelayModel(DelayModel):
+    """Sensor-network-style delays: mostly small jitter, occasional bursts.
+
+    With probability ``burst_probability`` a tuple is caught in a "burst"
+    (congestion, retransmission) and delayed uniformly in
+    ``[burst_min, max_delay]``; otherwise it gets exponential jitter with
+    mean ``jitter_mean`` (clipped at ``burst_min``).
+    """
+
+    def __init__(
+        self,
+        max_delay: int,
+        jitter_mean: float = 100.0,
+        burst_probability: float = 0.02,
+        burst_min: int = 2_000,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if max_delay < burst_min:
+            raise ValueError(
+                f"max_delay ({max_delay}) must be >= burst_min ({burst_min})"
+            )
+        if not 0.0 <= burst_probability <= 1.0:
+            raise ValueError("burst_probability must be in [0, 1]")
+        self._max_delay = int(max_delay)
+        self._jitter_mean = float(jitter_mean)
+        self._burst_probability = float(burst_probability)
+        self._burst_min = int(burst_min)
+        self._rng = rng if rng is not None else random.Random()
+
+    def sample(self, arrival: int) -> int:
+        if self._rng.random() < self._burst_probability:
+            return self._rng.randint(self._burst_min, self._max_delay)
+        jitter = int(self._rng.expovariate(1.0 / self._jitter_mean))
+        return min(jitter, self._burst_min)
+
+    @property
+    def max_delay(self) -> int:
+        return self._max_delay
+
+
+class PhasedDelayModel(DelayModel):
+    """Switches between delay models at fixed arrival times.
+
+    ``phases`` is a list of ``(start_arrival_ms, model)`` pairs sorted by
+    start time; the model whose start is the largest value not exceeding
+    the tuple's arrival time is used.  The first phase must start at 0.
+    """
+
+    def __init__(self, phases: Sequence[Tuple[int, DelayModel]]) -> None:
+        if not phases:
+            raise ValueError("phases must be non-empty")
+        starts = [start for start, _ in phases]
+        if starts[0] != 0:
+            raise ValueError("first phase must start at arrival time 0")
+        if starts != sorted(starts):
+            raise ValueError("phase start times must be sorted")
+        self._phases: List[Tuple[int, DelayModel]] = list(phases)
+
+    def sample(self, arrival: int) -> int:
+        model = self._phases[0][1]
+        for start, candidate in self._phases:
+            if arrival >= start:
+                model = candidate
+            else:
+                break
+        return model.sample(arrival)
+
+    @property
+    def max_delay(self) -> int:
+        return max(model.max_delay for _, model in self._phases)

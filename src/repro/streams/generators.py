@@ -1,0 +1,236 @@
+"""Synthetic dataset generators reproducing the paper's D×3syn and D×4syn.
+
+Generation procedure (paper Sec. VI, "Datasets and Queries"):
+
+* All streams start from a common initial timestamp and cover a fixed
+  duration.  For each new tuple of stream ``S_i`` the stream's arrival
+  clock ``iT`` advances by a fixed inter-arrival gap (10 ms in the paper,
+  i.e. 100 tuples/s), a delay is drawn from a bounded Zipf distribution
+  over ``[0, 20]`` seconds with per-stream skew ``z_i^d``, and the tuple's
+  timestamp is set to ``iT - delay``.
+* Join-attribute values are drawn from the integer interval ``[1, 100]``
+  with a Zipf distribution whose skew starts at 1.0 and is re-drawn from
+  ``[0.0, 5.0]`` at random intervals of 1–10 minutes, producing a
+  time-varying join selectivity.
+
+:class:`SyntheticStreamConfig` exposes every knob so tests and benchmarks
+can scale the workloads down (shorter duration, lower rate) while keeping
+the paper's structure; :func:`make_d3_syn` and :func:`make_d4_syn` bake in
+the paper's parameter choices.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.tuples import StreamTuple, seconds
+from .disorder import DelayModel, ZipfDelayModel
+from .source import Dataset, merge_by_arrival
+from .seeding import derived_rng
+from .zipf import ZipfValueSampler
+
+#: Paper defaults for the synthetic datasets.
+PAPER_MAX_DELAY_MS = 20_000
+PAPER_INTER_ARRIVAL_MS = 10  # 100 tuples/s
+PAPER_VALUE_DOMAIN = range(1, 101)
+PAPER_INITIAL_VALUE_SKEW = 1.0
+PAPER_VALUE_SKEW_RANGE = (0.0, 5.0)
+PAPER_SKEW_CHANGE_INTERVAL_MS = (60_000, 600_000)  # 1–10 minutes
+
+
+@dataclass
+class AttributeSpec:
+    """One generated attribute: its name and Zipf-value dynamics."""
+
+    name: str
+    domain: Sequence[int] = field(default_factory=lambda: list(PAPER_VALUE_DOMAIN))
+    initial_skew: float = PAPER_INITIAL_VALUE_SKEW
+    skew_range: Tuple[float, float] = PAPER_VALUE_SKEW_RANGE
+    #: Interval (ms) between skew changes, drawn uniformly from this range.
+    change_interval_ms: Tuple[int, int] = PAPER_SKEW_CHANGE_INTERVAL_MS
+    #: Disable skew changes entirely (fixed selectivity), for controlled tests.
+    time_varying: bool = True
+
+
+@dataclass
+class SyntheticStreamConfig:
+    """Configuration of one synthetic stream."""
+
+    attributes: List[AttributeSpec]
+    delay_model: Optional[DelayModel] = None
+    inter_arrival_ms: int = PAPER_INTER_ARRIVAL_MS
+
+
+class _VaryingSkewSampler:
+    """Zipf value sampler whose skew is re-drawn at random arrival times."""
+
+    def __init__(self, spec: AttributeSpec, rng: random.Random) -> None:
+        self._spec = spec
+        self._rng = rng
+        self._sampler = ZipfValueSampler(list(spec.domain), spec.initial_skew, rng)
+        self._next_change = self._draw_change_interval()
+
+    def _draw_change_interval(self) -> int:
+        low, high = self._spec.change_interval_ms
+        return self._rng.randint(low, high)
+
+    def sample(self, arrival: int) -> int:
+        if self._spec.time_varying and arrival >= self._next_change:
+            low, high = self._spec.skew_range
+            self._sampler.set_skew(self._rng.uniform(low, high))
+            self._next_change = arrival + self._draw_change_interval()
+        return self._sampler.sample()
+
+
+def generate_stream(
+    stream_index: int,
+    config: SyntheticStreamConfig,
+    duration_ms: int,
+    rng: random.Random,
+    start_ms: int = 0,
+) -> List[StreamTuple]:
+    """Generate one stream's tuples in arrival order.
+
+    The stream's arrival clock starts at ``start_ms + inter_arrival`` and
+    advances by ``inter_arrival`` per tuple until ``start_ms + duration``.
+    Timestamps are ``arrival - delay`` clamped at 0 (the paper sets
+    ``e.ts = iT`` when the delay is 0).
+    """
+    delay_model = config.delay_model or ZipfDelayModel(
+        PAPER_MAX_DELAY_MS, skew=3.0, rng=rng
+    )
+    samplers = [_VaryingSkewSampler(spec, rng) for spec in config.attributes]
+    tuples: List[StreamTuple] = []
+    arrival = start_ms
+    seq = 0
+    end = start_ms + duration_ms
+    while True:
+        arrival += config.inter_arrival_ms
+        if arrival > end:
+            break
+        delay = delay_model.sample(arrival)
+        ts = max(0, arrival - delay)
+        values: Dict[str, int] = {
+            spec.name: sampler.sample(arrival)
+            for spec, sampler in zip(config.attributes, samplers)
+        }
+        tuples.append(
+            StreamTuple(ts=ts, values=values, stream=stream_index, seq=seq, arrival=arrival)
+        )
+        seq += 1
+    return tuples
+
+
+def generate_dataset(
+    configs: Sequence[SyntheticStreamConfig],
+    duration_ms: int,
+    seed: int = 1,
+    name: str = "synthetic",
+) -> Dataset:
+    """Generate a multi-stream dataset from per-stream configs.
+
+    Each stream gets an independent RNG derived from ``seed`` so adding or
+    re-ordering streams does not perturb the others.
+    """
+    streams: List[List[StreamTuple]] = []
+    for index, config in enumerate(configs):
+        rng = derived_rng(seed, index)
+        streams.append(generate_stream(index, config, duration_ms, rng))
+    merged = merge_by_arrival(streams)
+    rates = [1000.0 / config.inter_arrival_ms for config in configs]
+    return Dataset(merged, num_streams=len(configs), name=name, nominal_rates=rates)
+
+
+def make_d3_syn(
+    duration_ms: int = seconds(30 * 60),
+    seed: int = 1,
+    inter_arrival_ms: int = PAPER_INTER_ARRIVAL_MS,
+    max_delay_ms: int = PAPER_MAX_DELAY_MS,
+    delay_skews: Sequence[float] = (2.0, 3.0, 3.0),
+    skew_change_interval_ms: Tuple[int, int] = PAPER_SKEW_CHANGE_INTERVAL_MS,
+    value_skew_range: Tuple[float, float] = PAPER_VALUE_SKEW_RANGE,
+    value_domain: Optional[Sequence[int]] = None,
+) -> Dataset:
+    """The paper's D×3syn: three streams with schema ``(ts, a1)``.
+
+    Paper parameters: 30-minute duration, 100 tuples/s, delays Zipf over
+    [0, 20]s with skews ``z_1^d = 2.0``, ``z_2^d = z_3^d = 3.0``, values
+    ``a1`` Zipf over [1, 100] with time-varying skew.  All arguments have
+    the paper's values as defaults; pass smaller ``duration_ms`` /
+    larger ``inter_arrival_ms`` to scale down.
+    """
+    if len(delay_skews) != 3:
+        raise ValueError("D×3syn takes exactly three delay skews")
+    configs = []
+    for index, skew in enumerate(delay_skews):
+        rng = derived_rng(seed, "delay", index)
+        configs.append(
+            SyntheticStreamConfig(
+                attributes=[
+                    AttributeSpec(
+                        name="a1",
+                        domain=list(value_domain or PAPER_VALUE_DOMAIN),
+                        skew_range=value_skew_range,
+                        change_interval_ms=skew_change_interval_ms,
+                    )
+                ],
+                # The delay support step matches the inter-arrival gap, as
+                # in the paper (both 10 ms at paper scale): a sub-gap delay
+                # would create no observable disorder.
+                delay_model=ZipfDelayModel(
+                    max_delay_ms, skew=skew, step=inter_arrival_ms, rng=rng
+                ),
+                inter_arrival_ms=inter_arrival_ms,
+            )
+        )
+    return generate_dataset(configs, duration_ms, seed=seed, name="D3syn")
+
+
+def make_d4_syn(
+    duration_ms: int = seconds(30 * 60),
+    seed: int = 1,
+    inter_arrival_ms: int = PAPER_INTER_ARRIVAL_MS,
+    max_delay_ms: int = PAPER_MAX_DELAY_MS,
+    delay_skews: Sequence[float] = (3.0, 3.0, 3.0, 4.0),
+    skew_change_interval_ms: Tuple[int, int] = PAPER_SKEW_CHANGE_INTERVAL_MS,
+    value_skew_range: Tuple[float, float] = PAPER_VALUE_SKEW_RANGE,
+    value_domain: Optional[Sequence[int]] = None,
+) -> Dataset:
+    """The paper's D×4syn: a star schema over four streams.
+
+    ``S1:(ts, a1, a2, a3)``, ``S2:(ts, a1)``, ``S3:(ts, a2)``,
+    ``S4:(ts, a3)``.  Delay skews default to the paper's
+    ``z_1..3^d = 3.0`` and ``z_4^d = 4.0`` (the paper text lists
+    ``z_1^d`` twice; we read the second entry as ``z_4^d``).
+    """
+    if len(delay_skews) != 4:
+        raise ValueError("D×4syn takes exactly four delay skews")
+    attribute_sets = [
+        ["a1", "a2", "a3"],
+        ["a1"],
+        ["a2"],
+        ["a3"],
+    ]
+    configs = []
+    for index, (names, skew) in enumerate(zip(attribute_sets, delay_skews)):
+        rng = derived_rng(seed, "delay", index)
+        configs.append(
+            SyntheticStreamConfig(
+                attributes=[
+                    AttributeSpec(
+                        name=name,
+                        domain=list(value_domain or PAPER_VALUE_DOMAIN),
+                        skew_range=value_skew_range,
+                        change_interval_ms=skew_change_interval_ms,
+                    )
+                    for name in names
+                ],
+                delay_model=ZipfDelayModel(
+                    max_delay_ms, skew=skew, step=inter_arrival_ms, rng=rng
+                ),
+                inter_arrival_ms=inter_arrival_ms,
+            )
+        )
+    return generate_dataset(configs, duration_ms, seed=seed, name="D4syn")

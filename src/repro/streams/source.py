@@ -1,0 +1,186 @@
+"""Arrival-ordered stream sources and dataset containers.
+
+The simulation is *arrival driven*: a dataset is a sequence of
+:class:`StreamTuple` objects in global arrival order, each knowing its
+owning stream, its arrival (wall-clock) time, and its application
+timestamp.  Disorder exists exactly where timestamp order differs from
+arrival order.
+
+:class:`Dataset` bundles the arrival sequence with per-stream metadata
+(the number of streams and, where known, the generator's nominal rates),
+and offers the two replays every experiment needs:
+
+* :meth:`Dataset.arrivals` — the disordered replay fed to the pipeline;
+* :meth:`Dataset.sorted_by_timestamp` — the globally timestamp-ordered
+  replay used to compute ground-truth join results (paper Sec. VI:
+  "we generated a sorted version where tuples of all streams are globally
+  ordered according to their timestamps").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from ..core.tuples import StreamTuple
+
+
+class Dataset:
+    """A finite multi-stream dataset in arrival order.
+
+    Parameters
+    ----------
+    tuples:
+        All tuples of all streams, sorted by ``arrival`` (ties broken by
+        the order given).  Each tuple must have ``stream`` and ``arrival``
+        assigned.
+    num_streams:
+        The number of input streams ``m``.
+    name:
+        Optional human-readable label (used by reports).
+    nominal_rates:
+        Optional per-stream nominal arrival rates in tuples/second, as
+        configured at generation time.  Purely informational; the pipeline
+        estimates rates from observations.
+    """
+
+    def __init__(
+        self,
+        tuples: Sequence[StreamTuple],
+        num_streams: int,
+        name: str = "dataset",
+        nominal_rates: Optional[Sequence[float]] = None,
+    ) -> None:
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+        for t in tuples:
+            if not 0 <= t.stream < num_streams:
+                raise ValueError(
+                    f"tuple stream index {t.stream} outside [0, {num_streams})"
+                )
+        self._tuples: List[StreamTuple] = list(tuples)
+        self.num_streams = num_streams
+        self.name = name
+        self.nominal_rates = list(nominal_rates) if nominal_rates else None
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        return iter(self._tuples)
+
+    def arrivals(self) -> Iterator[StreamTuple]:
+        """Replay in arrival order (the disordered feed)."""
+        return iter(self._tuples)
+
+    def sorted_by_timestamp(self) -> List[StreamTuple]:
+        """Globally timestamp-ordered copy (ground-truth feed).
+
+        Ties on ``ts`` are broken by arrival order, which keeps the replay
+        deterministic; the join semantics do not restrict the order among
+        equal timestamps (paper footnote 4).
+        """
+        return sorted(self._tuples, key=lambda t: (t.ts, t.arrival, t.stream))
+
+    def stream_tuples(self, stream: int) -> List[StreamTuple]:
+        """All tuples of one stream, in arrival order."""
+        return [t for t in self._tuples if t.stream == stream]
+
+    def max_timestamp(self) -> int:
+        """Largest application timestamp in the dataset (0 if empty)."""
+        return max((t.ts for t in self._tuples), default=0)
+
+    def max_delay(self) -> int:
+        """Largest realized tuple delay (iT at arrival minus ts), per stream.
+
+        This replays each stream's local current time exactly as the
+        framework would observe it.
+        """
+        local_time = [0] * self.num_streams
+        seen = [False] * self.num_streams
+        worst = 0
+        for t in self._tuples:
+            i = t.stream
+            if not seen[i] or t.ts > local_time[i]:
+                local_time[i] = t.ts
+                seen[i] = True
+            worst = max(worst, local_time[i] - t.ts)
+        return worst
+
+    def describe(self) -> str:
+        """One-line summary used by example scripts and reports."""
+        counts = [0] * self.num_streams
+        for t in self._tuples:
+            counts[t.stream] += 1
+        spans = self.max_timestamp()
+        per_stream = ", ".join(f"S{i}:{c}" for i, c in enumerate(counts))
+        return (
+            f"{self.name}: {len(self._tuples)} tuples over {self.num_streams} "
+            f"streams ({per_stream}), time span {spans} ms, "
+            f"max delay {self.max_delay()} ms"
+        )
+
+
+def merge_by_arrival(streams: Sequence[Sequence[StreamTuple]]) -> List[StreamTuple]:
+    """Stable-merge per-stream arrival sequences into one arrival order.
+
+    Each inner sequence must already be sorted by ``arrival``.  Ties are
+    broken by stream index to keep runs deterministic.
+    """
+    merged: List[StreamTuple] = []
+    for stream_tuples in streams:
+        merged.extend(stream_tuples)
+    merged.sort(key=lambda t: (t.arrival, t.stream, t.seq))
+    return merged
+
+
+def interleave_round_robin(streams: Sequence[Sequence[StreamTuple]]) -> List[StreamTuple]:
+    """Interleave streams one tuple at a time, ignoring arrival times.
+
+    Useful for hand-built test fixtures where explicit arrival times would
+    be noise.  Assigns synthetic ``arrival`` values matching the global
+    position so the result is a valid arrival order.
+    """
+    iterators = [iter(s) for s in streams]
+    merged: List[StreamTuple] = []
+    active = list(range(len(iterators)))
+    position = 0
+    while active:
+        still_active: List[int] = []
+        for index in active:
+            try:
+                t = next(iterators[index])
+            except StopIteration:
+                continue
+            t.arrival = position
+            position += 1
+            merged.append(t)
+            still_active.append(index)
+        active = still_active
+    return merged
+
+
+def from_tuple_specs(
+    specs: Iterable[tuple],
+    num_streams: int,
+    name: str = "manual",
+) -> Dataset:
+    """Build a dataset from ``(stream, ts, values_dict)`` triples in arrival order.
+
+    A convenience for tests and examples that mirror the paper's worked
+    figures (Fig. 1, Fig. 3, Fig. 5) where the arrival order is written
+    out explicitly.
+    """
+    tuples: List[StreamTuple] = []
+    seqs = [0] * num_streams
+    for position, spec in enumerate(specs):
+        if len(spec) == 3:
+            stream, ts, values = spec
+        elif len(spec) == 2:
+            stream, ts = spec
+            values = {}
+        else:
+            raise ValueError(f"spec must be (stream, ts[, values]), got {spec!r}")
+        t = StreamTuple(ts=ts, values=values, stream=stream, seq=seqs[stream], arrival=position)
+        seqs[stream] += 1
+        tuples.append(t)
+    return Dataset(tuples, num_streams=num_streams, name=name)

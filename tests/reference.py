@@ -1,0 +1,50 @@
+"""Brute-force reference implementations used to validate the engine.
+
+The MSWJ semantics (paper Sec. II-A): a combination ``<e_1, ..., e_m>``
+(one tuple per stream) is a result iff every ordered pair satisfies the
+window constraint ``e_j.ts >= e_i.ts - W_j`` (equivalently each tuple
+falls within ``[e_i.ts - W_j, e_i.ts + W_i]`` of every other) and the
+join condition holds.  The reference enumerates all combinations —
+O(prod |S_i|) — so keep the fixtures small.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Sequence
+
+from repro import JoinCondition, JoinResult, StreamTuple
+from repro.streams.source import Dataset
+
+
+def reference_join(
+    dataset: Dataset,
+    window_sizes_ms: Sequence[int],
+    condition: JoinCondition,
+) -> List[JoinResult]:
+    """All true results by exhaustive enumeration."""
+    per_stream = [dataset.stream_tuples(i) for i in range(dataset.num_streams)]
+    results: List[JoinResult] = []
+    for combo in itertools.product(*per_stream):
+        if not _windows_ok(combo, window_sizes_ms):
+            continue
+        bound = {t.stream: t for t in combo}
+        if condition.evaluate(bound):
+            ts = max(t.ts for t in combo)
+            results.append(JoinResult(ts, tuple(combo)))
+    return results
+
+
+def _windows_ok(combo: Sequence[StreamTuple], window_sizes_ms: Sequence[int]) -> bool:
+    for a in combo:
+        for b in combo:
+            if a is b:
+                continue
+            # b must be within a's reach: b.ts >= a.ts - W_b
+            if b.ts < a.ts - window_sizes_ms[b.stream]:
+                return False
+    return True
+
+
+def result_key_set(results: Sequence[JoinResult]) -> set:
+    return {r.key() for r in results}

@@ -1,0 +1,258 @@
+"""Unit tests for the Buffer-Size Manager policies, Alg. 3 (repro.core.adaptation)."""
+
+import pytest
+
+from repro import (
+    AdaptationContext,
+    EqSel,
+    FixedKPolicy,
+    MaxKSlackPolicy,
+    ModelBasedPolicy,
+    NoKSlackPolicy,
+    NonEqSel,
+    ResultSizeMonitor,
+    StatisticsManager,
+    StreamTuple,
+)
+from repro.core.adaptation import build_recall_model
+from repro.core.profiler import ProfileSnapshot
+
+
+def _observe(stats, stream, ts, arrival, delay):
+    t = StreamTuple(ts=ts, stream=stream, seq=0, arrival=arrival)
+    t.delay = delay
+    stats.observe_arrival(t)
+
+
+def _stats_two_streams(delays_per_stream, granularity=10, gap=100):
+    """Two synchronized streams with given delay sequences."""
+    stats = StatisticsManager(2, granularity_ms=granularity)
+    clock = 0
+    for position, (d0, d1) in enumerate(zip(*delays_per_stream)):
+        clock += gap
+        _observe(stats, 0, ts=clock, arrival=clock, delay=d0)
+        _observe(stats, 1, ts=clock, arrival=clock, delay=d1)
+    return stats
+
+
+def _context(stats, profile=None, gamma=0.9, monitor=None, g=10, b=10,
+             windows=(1_000, 1_000), interval=1_000, now=10_000):
+    return AdaptationContext(
+        statistics=stats,
+        profile=profile,
+        monitor=monitor or ResultSizeMonitor(period_ms=60_000, interval_ms=interval),
+        gamma_target=gamma,
+        interval_ms=interval,
+        basic_window_ms=b,
+        granularity_ms=g,
+        window_sizes_ms=list(windows),
+        now_ts=now,
+        current_k_ms=0,
+    )
+
+
+class TestBaselinePolicies:
+    def test_no_k_slack_always_zero(self):
+        stats = _stats_two_streams([[0, 500, 0], [0, 0, 900]])
+        assert NoKSlackPolicy().decide(_context(stats)) == 0
+
+    def test_fixed_k_returns_constant(self):
+        stats = _stats_two_streams([[0, 0], [0, 0]])
+        assert FixedKPolicy(420).decide(_context(stats)) == 420
+
+    def test_fixed_k_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedKPolicy(-1)
+
+    def test_max_k_slack_tracks_running_maximum(self):
+        policy = MaxKSlackPolicy()
+        t = StreamTuple(ts=0, stream=0, seq=0)
+        t.delay = 120
+        assert policy.on_arrival(t) == 120
+        t2 = StreamTuple(ts=0, stream=0, seq=1)
+        t2.delay = 80
+        assert policy.on_arrival(t2) is None  # no increase
+        t3 = StreamTuple(ts=0, stream=0, seq=2)
+        t3.delay = 300
+        assert policy.on_arrival(t3) == 300
+        stats = _stats_two_streams([[0], [0]])
+        assert policy.decide(_context(stats)) == 300
+
+    def test_interval_policies_ignore_arrivals(self):
+        t = StreamTuple(ts=0, stream=0, seq=0)
+        t.delay = 999
+        assert NoKSlackPolicy().on_arrival(t) is None
+        assert FixedKPolicy(5).on_arrival(t) is None
+
+
+class TestModelBasedPolicy:
+    def test_zero_k_when_streams_in_order(self):
+        stats = _stats_two_streams([[0] * 50, [0] * 50])
+        policy = ModelBasedPolicy(EqSel())
+        assert policy.decide(_context(stats, gamma=0.999)) == 0
+
+    def test_finds_k_covering_delay_mass(self):
+        # Half the tuples of each stream are delayed by exactly 200 ms.
+        # With Γ close to 1, K must cover (most of) that delay.
+        delays = [0, 200] * 100
+        stats = _stats_two_streams([delays, delays])
+        policy = ModelBasedPolicy(EqSel())
+        k = policy.decide(_context(stats, gamma=0.999))
+        assert 100 <= k <= 210
+
+    def test_lower_gamma_gives_smaller_k(self):
+        delays = [0, 0, 0, 500] * 50  # 25% delayed by 500 ms
+        stats = _stats_two_streams([delays, delays])
+        high = ModelBasedPolicy(EqSel()).decide(_context(stats, gamma=0.999))
+        low = ModelBasedPolicy(EqSel()).decide(_context(stats, gamma=0.7))
+        assert low <= high
+        assert low < 500
+
+    def test_search_granularity_respected(self):
+        delays = [0, 130] * 100
+        stats = _stats_two_streams([delays, delays], granularity=50)
+        policy = ModelBasedPolicy(EqSel())
+        k = policy.decide(_context(stats, gamma=0.999, g=50))
+        assert k % 50 == 0
+
+    def test_search_stops_beyond_max_delay(self):
+        delays = [0, 400] * 100
+        stats = _stats_two_streams([delays, delays])
+        policy = ModelBasedPolicy(EqSel())
+        k = policy.decide(_context(stats, gamma=0.999))
+        max_dh = stats.max_delay_ms()
+        assert k <= max_dh + 10  # Alg. 3 exits at k* > MaxDH
+
+    def test_overshoot_relaxes_next_interval(self):
+        delays = [0, 300] * 100
+        stats = _stats_two_streams([delays, delays])
+        # Past intervals produced everything → instant requirement drops.
+        monitor = ResultSizeMonitor(period_ms=10_000, interval_ms=1_000)
+        for _ in range(9):
+            monitor.record_true_estimate(100.0)
+        monitor.record_produced(9_900, 900)
+        profile = ProfileSnapshot({0: 1_000.0}, {0: 100.0})
+        relaxed = ModelBasedPolicy(EqSel()).decide(
+            _context(stats, profile=profile, gamma=0.95, monitor=monitor)
+        )
+        strict = ModelBasedPolicy(EqSel()).decide(_context(stats, gamma=0.95))
+        assert relaxed <= strict
+
+    def test_noneqsel_uses_learned_ratio(self):
+        # Delayed tuples are *more* productive than punctual ones: the
+        # NonEqSel ratio at small K is < 1, so NonEqSel needs a larger K
+        # than EqSel to reach the same requirement.
+        delays = [0, 300] * 100
+        stats = _stats_two_streams([delays, delays])
+        profile = ProfileSnapshot(
+            {0: 1_000.0, 30: 1_000.0},  # equal cross sizes
+            {0: 10.0, 30: 90.0},        # late tuples derive 9x the results
+        )
+        k_eq = ModelBasedPolicy(EqSel()).decide(
+            _context(stats, profile=profile, gamma=0.9)
+        )
+        k_noneq = ModelBasedPolicy(NonEqSel()).decide(
+            _context(stats, profile=profile, gamma=0.9)
+        )
+        assert k_noneq >= k_eq
+
+    def test_diagnostics_exposed(self):
+        delays = [0, 100] * 50
+        stats = _stats_two_streams([delays, delays])
+        policy = ModelBasedPolicy(EqSel())
+        policy.decide(_context(stats, gamma=0.95))
+        assert policy.last_search_steps >= 1
+        assert 0.0 <= policy.last_instant_requirement <= 1.0
+
+
+class TestShrinkDamping:
+    def test_growth_is_instantaneous(self):
+        delays = [0, 500] * 100
+        stats = _stats_two_streams([delays, delays])
+        policy = ModelBasedPolicy(EqSel(), shrink_damping=0.5)
+        context = _context(stats, gamma=0.999)
+        context.current_k_ms = 0
+        k = policy.decide(context)
+        assert k == policy.last_undamped_k  # no floor from K=0
+
+    def test_shrink_limited_to_damping_floor(self):
+        # In-order streams: the undamped search returns 0, but the floor
+        # keeps half of the previous K.
+        stats = _stats_two_streams([[0] * 50, [0] * 50])
+        policy = ModelBasedPolicy(EqSel(), shrink_damping=0.5)
+        context = _context(stats, gamma=0.9)
+        context.current_k_ms = 1_000
+        assert policy.decide(context) == 500
+        assert policy.last_undamped_k == 0
+
+    def test_zero_damping_is_paper_literal(self):
+        stats = _stats_two_streams([[0] * 50, [0] * 50])
+        policy = ModelBasedPolicy(EqSel(), shrink_damping=0.0)
+        context = _context(stats, gamma=0.9)
+        context.current_k_ms = 10_000
+        assert policy.decide(context) == 0
+
+    def test_invalid_damping_rejected(self):
+        with pytest.raises(ValueError):
+            ModelBasedPolicy(EqSel(), shrink_damping=1.0)
+        with pytest.raises(ValueError):
+            ModelBasedPolicy(EqSel(), shrink_damping=-0.5)
+
+    def test_repeated_shrinks_decay_geometrically(self):
+        stats = _stats_two_streams([[0] * 50, [0] * 50])
+        policy = ModelBasedPolicy(EqSel(), shrink_damping=0.5)
+        k = 8_000
+        trajectory = []
+        for _ in range(5):
+            context = _context(stats, gamma=0.9)
+            context.current_k_ms = k
+            k = policy.decide(context)
+            trajectory.append(k)
+        assert trajectory == [4_000, 2_000, 1_000, 500, 250]
+
+
+class TestBinarySearch:
+    """The future-work search variant must agree with the Alg. 3 scan."""
+
+    def _policies(self):
+        return (
+            ModelBasedPolicy(EqSel(), shrink_damping=0.0, search="linear"),
+            ModelBasedPolicy(EqSel(), shrink_damping=0.0, search="binary"),
+        )
+
+    @pytest.mark.parametrize("gamma", [0.7, 0.9, 0.99, 0.999])
+    def test_matches_linear_scan_under_eqsel(self, gamma):
+        delays = [0, 150, 0, 400] * 50
+        stats = _stats_two_streams([delays, delays])
+        linear, binary = self._policies()
+        k_linear = linear.decide(_context(stats, gamma=gamma))
+        k_binary = binary.decide(_context(stats, gamma=gamma))
+        assert k_binary == k_linear
+
+    def test_zero_k_short_circuit(self):
+        stats = _stats_two_streams([[0] * 50, [0] * 50])
+        policy = ModelBasedPolicy(EqSel(), shrink_damping=0.0, search="binary")
+        assert policy.decide(_context(stats, gamma=0.99)) == 0
+        assert policy.last_search_steps == 1
+
+    def test_binary_uses_fewer_evaluations(self):
+        delays = [0, 2_000] * 100  # MaxDH = 2000 → linear scan ~200 steps
+        stats = _stats_two_streams([delays, delays])
+        linear, binary = self._policies()
+        linear.decide(_context(stats, gamma=0.999))
+        binary.decide(_context(stats, gamma=0.999))
+        assert binary.last_search_steps < linear.last_search_steps / 4
+
+    def test_unknown_search_rejected(self):
+        with pytest.raises(ValueError):
+            ModelBasedPolicy(EqSel(), search="newton")
+
+
+class TestBuildRecallModel:
+    def test_model_reflects_statistics(self):
+        delays = [0, 0, 0, 0] * 25
+        stats = _stats_two_streams([delays, delays])
+        model = build_recall_model(_context(stats))
+        assert model.in_order_probability(0, 0) == pytest.approx(1.0)
+        # Rate: 2 streams at one tuple per 100 ms → 0.01/ms.
+        assert model.inputs[0].rate_per_ms == pytest.approx(0.01, rel=0.05)

@@ -1,0 +1,103 @@
+"""Unit tests for the ADWIN change detector (repro.adwin)."""
+
+import random
+
+from repro.adwin import Adwin
+
+
+class TestAdwinBasics:
+    def test_empty_window(self):
+        adwin = Adwin()
+        assert adwin.width == 0
+        assert adwin.mean() == 0.0
+        assert adwin.variance() == 0.0
+
+    def test_width_counts_inserts(self):
+        adwin = Adwin()
+        for value in range(10):
+            adwin.update(float(value))
+        assert adwin.width == 10
+
+    def test_mean_matches_arithmetic_mean(self):
+        adwin = Adwin()
+        values = [1.0, 2.0, 3.0, 4.0]
+        for value in values:
+            adwin.update(value)
+        assert abs(adwin.mean() - 2.5) < 1e-9
+
+    def test_total_tracks_sum(self):
+        adwin = Adwin()
+        for value in (5.0, 7.0, 9.0):
+            adwin.update(value)
+        assert abs(adwin.total - 21.0) < 1e-9
+
+    def test_variance_zero_for_constant_signal(self):
+        adwin = Adwin()
+        for _ in range(100):
+            adwin.update(3.0)
+        assert adwin.variance() < 1e-9
+
+    def test_invalid_delta_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Adwin(delta=0.0)
+        with pytest.raises(ValueError):
+            Adwin(delta=1.5)
+
+
+class TestAdwinBehaviour:
+    def test_grows_on_stationary_input(self):
+        rng = random.Random(1)
+        adwin = Adwin()
+        for _ in range(3_000):
+            adwin.update(rng.gauss(10.0, 1.0))
+        # On stationary data the window should keep (most of) the history.
+        assert adwin.width > 2_000
+        assert adwin.detections <= 2  # rare false alarms allowed
+
+    def test_detects_abrupt_mean_shift(self):
+        rng = random.Random(2)
+        adwin = Adwin()
+        for _ in range(1_500):
+            adwin.update(rng.gauss(0.0, 0.5))
+        width_before = adwin.width
+        for _ in range(1_500):
+            adwin.update(rng.gauss(50.0, 0.5))
+        assert adwin.detections >= 1
+        # Window must have been cut: far smaller than 3000 and the mean
+        # must now reflect the new regime.
+        assert adwin.width < width_before + 1_500
+        assert adwin.mean() > 25.0
+
+    def test_window_converges_to_new_regime(self):
+        rng = random.Random(3)
+        adwin = Adwin()
+        for _ in range(2_000):
+            adwin.update(rng.gauss(100.0, 2.0))
+        for _ in range(2_000):
+            adwin.update(rng.gauss(0.0, 2.0))
+        assert adwin.mean() < 20.0
+
+    def test_no_detection_for_tiny_drift(self):
+        rng = random.Random(4)
+        adwin = Adwin()
+        for step in range(2_000):
+            adwin.update(rng.gauss(10.0 + step * 1e-5, 1.0))
+        assert adwin.detections <= 3
+
+    def test_compression_bounds_bucket_count(self):
+        adwin = Adwin(max_buckets=5)
+        rng = random.Random(5)
+        for _ in range(10_000):
+            adwin.update(rng.random())
+        total_buckets = sum(len(row.buckets) for row in adwin._rows)
+        # max_buckets+1 per level, ~log2(n) levels.
+        assert total_buckets <= (5 + 1) * 20
+
+    def test_variance_positive_for_noisy_signal(self):
+        rng = random.Random(6)
+        adwin = Adwin()
+        for _ in range(1_000):
+            adwin.update(rng.gauss(0.0, 5.0))
+        assert adwin.variance() > 1.0

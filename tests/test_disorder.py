@@ -1,0 +1,127 @@
+"""Unit tests for delay models (repro.streams.disorder)."""
+
+import random
+
+import pytest
+
+from repro import (
+    BurstyDelayModel,
+    ConstantDelayModel,
+    NoDelayModel,
+    PhasedDelayModel,
+    ZipfDelayModel,
+)
+
+
+class TestNoDelayModel:
+    def test_always_zero(self):
+        model = NoDelayModel()
+        assert all(model.sample(t) == 0 for t in range(0, 10_000, 97))
+
+    def test_max_delay_zero(self):
+        assert NoDelayModel().max_delay == 0
+
+
+class TestConstantDelayModel:
+    def test_constant_value(self):
+        model = ConstantDelayModel(250)
+        assert model.sample(0) == 250
+        assert model.sample(99_999) == 250
+        assert model.max_delay == 250
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelayModel(-1)
+
+
+class TestZipfDelayModel:
+    def test_delays_within_bounds(self):
+        model = ZipfDelayModel(2_000, skew=2.0, rng=random.Random(1))
+        draws = [model.sample(0) for _ in range(2_000)]
+        assert all(0 <= d <= 2_000 for d in draws)
+
+    def test_delays_are_multiples_of_step(self):
+        model = ZipfDelayModel(500, skew=1.0, step=10, rng=random.Random(2))
+        assert all(model.sample(0) % 10 == 0 for _ in range(500))
+
+    def test_higher_skew_gives_more_zero_delays(self):
+        low = ZipfDelayModel(5_000, skew=1.0, rng=random.Random(3))
+        high = ZipfDelayModel(5_000, skew=3.0, rng=random.Random(3))
+        low_zero = sum(1 for _ in range(3_000) if low.sample(0) == 0)
+        high_zero = sum(1 for _ in range(3_000) if high.sample(0) == 0)
+        assert high_zero > low_zero
+
+    def test_max_delay_reported(self):
+        assert ZipfDelayModel(12_345, skew=2.0).max_delay == 12_345
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfDelayModel(-5, skew=1.0)
+        with pytest.raises(ValueError):
+            ZipfDelayModel(100, skew=1.0, step=0)
+
+
+class TestBurstyDelayModel:
+    def test_delays_bounded(self):
+        model = BurstyDelayModel(
+            max_delay=10_000, burst_probability=0.5, rng=random.Random(4)
+        )
+        assert all(0 <= model.sample(0) <= 10_000 for _ in range(2_000))
+
+    def test_bursts_exceed_jitter(self):
+        model = BurstyDelayModel(
+            max_delay=20_000,
+            jitter_mean=50.0,
+            burst_probability=1.0,
+            burst_min=5_000,
+            rng=random.Random(5),
+        )
+        assert all(model.sample(0) >= 5_000 for _ in range(200))
+
+    def test_no_bursts_means_small_jitter(self):
+        model = BurstyDelayModel(
+            max_delay=20_000,
+            jitter_mean=50.0,
+            burst_probability=0.0,
+            burst_min=5_000,
+            rng=random.Random(6),
+        )
+        assert all(model.sample(0) <= 5_000 for _ in range(500))
+
+    def test_max_below_burst_min_rejected(self):
+        with pytest.raises(ValueError):
+            BurstyDelayModel(max_delay=1_000, burst_min=2_000)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            BurstyDelayModel(max_delay=10_000, burst_probability=1.5)
+
+
+class TestPhasedDelayModel:
+    def test_switches_models_at_boundaries(self):
+        model = PhasedDelayModel(
+            [(0, ConstantDelayModel(10)), (1_000, ConstantDelayModel(500))]
+        )
+        assert model.sample(500) == 10
+        assert model.sample(1_000) == 500
+        assert model.sample(5_000) == 500
+
+    def test_max_delay_is_max_over_phases(self):
+        model = PhasedDelayModel(
+            [(0, ConstantDelayModel(10)), (1_000, ConstantDelayModel(500))]
+        )
+        assert model.max_delay == 500
+
+    def test_first_phase_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            PhasedDelayModel([(5, NoDelayModel())])
+
+    def test_unsorted_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedDelayModel(
+                [(0, NoDelayModel()), (100, NoDelayModel()), (50, NoDelayModel())]
+            )
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedDelayModel([])

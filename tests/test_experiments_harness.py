@@ -1,0 +1,142 @@
+"""Tests for the experiment harness (repro.experiments) and the CLI."""
+
+import os
+
+import pytest
+
+from repro import seconds
+from repro.experiments.configs import (
+    PAPER_GAMMA_VALUES,
+    d3_experiment,
+    d4_experiment,
+    soccer_experiment,
+)
+from repro.experiments.report import format_table, write_report
+from repro.experiments.runner import make_policy, run_experiment
+
+
+def _tiny_d3():
+    exp = d3_experiment()
+    from repro import make_d3_syn
+
+    exp.dataset_factory = lambda: make_d3_syn(
+        duration_ms=seconds(12),
+        seed=5,
+        inter_arrival_ms=200,
+        max_delay_ms=2_000,
+        skew_change_interval_ms=(seconds(3), seconds(6)),
+    )
+    exp.invalidate()
+    return exp
+
+
+class TestExperimentConfig:
+    def test_dataset_cached(self):
+        exp = _tiny_d3()
+        assert exp.dataset() is exp.dataset()
+
+    def test_truth_cached(self):
+        exp = _tiny_d3()
+        assert exp.truth() is exp.truth()
+
+    def test_invalidate_clears_caches(self):
+        exp = _tiny_d3()
+        first = exp.dataset()
+        exp.invalidate()
+        assert exp.dataset() is not first
+
+    def test_num_streams(self):
+        assert d3_experiment().num_streams == 3
+        assert d4_experiment().num_streams == 4
+        assert soccer_experiment().num_streams == 2
+
+    def test_paper_gamma_grid(self):
+        assert PAPER_GAMMA_VALUES == (0.9, 0.95, 0.99, 0.999)
+
+
+class TestMakePolicy:
+    def test_known_policies(self):
+        assert make_policy("no-k-slack").name == "No-K-slack"
+        assert make_policy("max-k-slack").name == "Max-K-slack"
+        assert make_policy("model-eqsel").name == "Model-based(EqSel)"
+        assert make_policy("model-noneqsel").name == "Model-based(NonEqSel)"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("magic")
+
+    def test_name_normalization(self):
+        assert make_policy("  Max-K-Slack ").name == "Max-K-slack"
+
+
+class TestRunExperiment:
+    def test_run_result_fields(self):
+        exp = _tiny_d3()
+        outcome = run_experiment(
+            exp, make_policy("no-k-slack"), gamma=0.9, period_ms=4_000
+        )
+        assert outcome.experiment == "(D3syn, Q3)"
+        assert outcome.policy == "No-K-slack"
+        assert outcome.truth_total == exp.truth().index.total
+        assert 0.0 <= outcome.overall_recall() <= 1.0
+        assert outcome.average_k_s == 0.0
+        assert outcome.latency is not None
+
+    def test_measurements_exclude_warmup(self):
+        exp = _tiny_d3()
+        outcome = run_experiment(
+            exp, make_policy("no-k-slack"), gamma=0.9, period_ms=4_000
+        )
+        assert all(m.at_ms >= 4_000 for m in outcome.measurements)
+
+    def test_runs_are_reproducible(self):
+        exp = _tiny_d3()
+        a = run_experiment(exp, make_policy("model-eqsel"), gamma=0.9, period_ms=4_000)
+        b = run_experiment(exp, make_policy("model-eqsel"), gamma=0.9, period_ms=4_000)
+        assert a.results_produced == b.results_produced
+        assert a.average_k_s == b.average_k_s
+
+
+class TestReport:
+    def test_format_table_basic(self):
+        text = format_table(["a", "bb"], [(1, 2.5), ("x", "y")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "2.5000" in text  # float formatting
+
+    def test_format_table_column_widths(self):
+        text = format_table(["col"], [("wide-cell-content",)])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row)
+
+    def test_write_report_creates_file(self, tmp_path):
+        path = write_report("unit", "hello", directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert handle.read() == "hello\n"
+
+
+class TestCli:
+    def test_cli_main_runs(self, capsys, monkeypatch):
+        # Patch the experiment registry to the tiny dataset for speed.
+        import repro.experiments.__main__ as cli
+
+        tiny = _tiny_d3()
+        monkeypatch.setattr(
+            cli, "all_experiments", lambda scale, paper_scale: {"d3": tiny}
+        )
+        code = cli.main(
+            ["--experiment", "d3", "--policy", "no-k-slack", "--gamma", "0.9",
+             "--period", "4", "--series"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "average recall" in captured.out
+        assert "No-K-slack" in captured.out
+
+    def test_cli_rejects_bad_policy(self):
+        import repro.experiments.__main__ as cli
+
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["--policy", "nope"])

@@ -1,0 +1,113 @@
+"""End-to-end integration tests: the paper's qualitative claims, small scale.
+
+These run the full framework (generators → K-slack → Synchronizer → MSWJ →
+management plane) on shrunken versions of the paper's workloads and check
+the *shape* of the paper's findings:
+
+* complete disorder handling reaches recall ≈ 1 (Max-K-slack, Table II);
+* no intra-stream handling loses recall under disorder (Fig. 6);
+* the model-based approach fulfils the requirement with far less buffer
+  than Max-K-slack (Fig. 7);
+* higher Γ ⇒ larger average K (the latency/quality tradeoff).
+"""
+
+import pytest
+
+from repro.experiments.configs import d3_experiment, soccer_experiment
+from repro.experiments.runner import make_policy, run_experiment
+
+
+def _quick_d3():
+    # ~30 s of stream time at 10 tuples/s keeps the test fast.
+    exp = d3_experiment()
+    from repro import make_d3_syn, seconds
+
+    exp.dataset_factory = lambda: make_d3_syn(
+        duration_ms=seconds(30),
+        seed=42,
+        inter_arrival_ms=100,
+        max_delay_ms=4_000,
+        skew_change_interval_ms=(seconds(5), seconds(10)),
+    )
+    exp.invalidate()
+    return exp
+
+
+@pytest.fixture(scope="module")
+def d3():
+    exp = _quick_d3()
+    exp.truth()  # warm the cache once for the module
+    return exp
+
+
+PIPELINE_KWARGS = dict(period_ms=10_000, interval_ms=1_000)
+
+
+class TestBaselinesEndToEnd:
+    def test_max_k_slack_near_full_recall(self, d3):
+        result = run_experiment(
+            d3, make_policy("max-k-slack"), gamma=0.99, **PIPELINE_KWARGS
+        )
+        assert result.overall_recall() > 0.97
+        assert result.average_recall > 0.95
+
+    def test_no_k_slack_loses_recall(self, d3):
+        result = run_experiment(
+            d3, make_policy("no-k-slack"), gamma=0.99, **PIPELINE_KWARGS
+        )
+        assert result.average_k_s == 0.0
+        assert result.average_recall < 0.98  # visibly below full recall
+
+    def test_max_k_slack_buffers_more_than_no_k_slack(self, d3):
+        max_k = run_experiment(
+            d3, make_policy("max-k-slack"), gamma=0.99, **PIPELINE_KWARGS
+        )
+        assert max_k.average_k_s > 0.5  # delays reach seconds
+
+
+class TestModelBasedEndToEnd:
+    def test_meets_requirement_with_smaller_buffer(self, d3):
+        gamma = 0.9
+        model = run_experiment(
+            d3, make_policy("model-noneqsel", gamma), gamma=gamma, **PIPELINE_KWARGS
+        )
+        baseline = run_experiment(
+            d3, make_policy("max-k-slack"), gamma=gamma, **PIPELINE_KWARGS
+        )
+        # The headline claim: less buffering at acceptable quality.
+        assert model.average_k_s < baseline.average_k_s
+        assert model.phi99 >= 0.5  # most measurements near the requirement
+
+    def test_higher_gamma_needs_more_buffer(self, d3):
+        low = run_experiment(
+            d3, make_policy("model-noneqsel", 0.7), gamma=0.7, **PIPELINE_KWARGS
+        )
+        high = run_experiment(
+            d3, make_policy("model-noneqsel", 0.999), gamma=0.999, **PIPELINE_KWARGS
+        )
+        assert low.average_k_s <= high.average_k_s
+
+    def test_produced_never_exceeds_truth(self, d3):
+        result = run_experiment(
+            d3, make_policy("model-eqsel"), gamma=0.95, **PIPELINE_KWARGS
+        )
+        assert result.results_produced <= result.truth_total
+
+    def test_adaptation_runs_and_is_fast(self, d3):
+        result = run_experiment(
+            d3, make_policy("model-noneqsel"), gamma=0.95, **PIPELINE_KWARGS
+        )
+        assert result.adaptations >= 20
+        # Alg. 3 with g = 10 ms: well under 50 ms per step even in Python.
+        assert result.average_adaptation_ms < 50.0
+
+
+class TestSoccerEndToEnd:
+    def test_theta_join_pipeline_runs(self):
+        exp = soccer_experiment(scale=0.3, seed=3)
+        result = run_experiment(
+            exp, make_policy("model-noneqsel"), gamma=0.9, **PIPELINE_KWARGS
+        )
+        assert result.truth_total > 0
+        assert 0.0 <= result.average_recall <= 1.0
+        assert result.results_produced <= result.truth_total

@@ -1,0 +1,62 @@
+"""Unit tests for latency summaries (repro.quality.latency)."""
+
+import pytest
+
+from repro.core.pipeline import PipelineMetrics
+from repro.quality.latency import (
+    LatencySummary,
+    summarize_latency,
+    time_weighted_average,
+)
+
+
+class TestTimeWeightedAverage:
+    def test_single_segment(self):
+        assert time_weighted_average([(0, 10.0)], 100) == pytest.approx(10.0)
+
+    def test_two_equal_segments(self):
+        history = [(0, 0.0), (50, 100.0)]
+        assert time_weighted_average(history, 100) == pytest.approx(50.0)
+
+    def test_unequal_segments(self):
+        history = [(0, 10.0), (90, 100.0)]
+        # 10 for 90 time units, 100 for 10 units → 19.0
+        assert time_weighted_average(history, 100) == pytest.approx(19.0)
+
+    def test_empty_history(self):
+        assert time_weighted_average([], 100) == 0.0
+
+    def test_zero_span_returns_last_value(self):
+        assert time_weighted_average([(5, 42.0)], 5) == pytest.approx(42.0)
+
+
+class TestSummarizeLatency:
+    def _metrics(self):
+        metrics = PipelineMetrics()
+        metrics.k_history = [(0, 0), (1_000, 2_000), (2_000, 500)]
+        metrics.latency_sum_ms = 9_000
+        metrics.latency_count = 3
+        metrics.latency_max_ms = 5_000
+        return metrics
+
+    def test_summary_fields(self):
+        summary = summarize_latency(self._metrics(), end_time_ms=3_000)
+        assert isinstance(summary, LatencySummary)
+        # avg K: 0 for 1s, 2000 for 1s, 500 for 1s → 833.3 ms
+        assert summary.average_k_s == pytest.approx(0.8333, abs=1e-3)
+        assert summary.final_k_s == pytest.approx(0.5)
+        assert summary.max_k_s == pytest.approx(2.0)
+        assert summary.average_buffering_latency_s == pytest.approx(3.0)
+        assert summary.max_buffering_latency_s == pytest.approx(5.0)
+        assert summary.k_changes == 2
+
+    def test_row_shape(self):
+        summary = summarize_latency(self._metrics(), end_time_ms=3_000)
+        row = summary.row()
+        assert len(row) == 4
+        assert row[0] == summary.average_k_s
+
+    def test_empty_metrics(self):
+        summary = summarize_latency(PipelineMetrics())
+        assert summary.average_k_s == 0.0
+        assert summary.k_changes == 0

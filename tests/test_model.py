@@ -1,0 +1,234 @@
+"""Unit tests for the recall model, Eqs. 1–5 (repro.core.model).
+
+The optimized implementation (cumulative + strided prefix sums) is checked
+against a direct brute-force evaluation of the paper's equations.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import CumulativePdf, RecallModel, StreamModelInput
+
+
+# ----------------------------------------------------------------------
+# brute-force references
+# ----------------------------------------------------------------------
+
+def brute_cdf(pdf, x):
+    if x < 0:
+        return 0.0
+    return min(1.0, sum(pdf[: x + 1]))
+
+
+def brute_window_cardinality(pdf, slack_ms, rate, window_ms, b, g):
+    """Direct evaluation of Eq. 3 (summed over segments)."""
+    n = (window_ms + b - 1) // b
+    total = 0.0
+    for segment in range(1, n):  # segments 1 .. n-1
+        total += b * brute_cdf(pdf, (slack_ms + (segment - 1) * b) // g)
+    total += (window_ms - (n - 1) * b) * brute_cdf(pdf, (slack_ms + (n - 1) * b) // g)
+    return rate * total
+
+
+def brute_gamma(inputs, k_ms, b, g, sel_ratio=1.0):
+    """Direct evaluation of Eq. 5 via Eqs. 1 and 4."""
+    true_rate = 0.0
+    prod_rate = 0.0
+    for i, s in enumerate(inputs):
+        t = s.rate_per_ms
+        p = s.rate_per_ms * brute_cdf(s.pdf, (k_ms + int(s.ksync_ms)) // g)
+        for j, other in enumerate(inputs):
+            if j == i:
+                continue
+            t *= other.rate_per_ms * other.window_ms
+            p *= brute_window_cardinality(
+                other.pdf, k_ms + int(other.ksync_ms), other.rate_per_ms,
+                other.window_ms, b, g,
+            )
+        true_rate += t
+        prod_rate += p
+    if true_rate <= 0:
+        return 1.0
+    return max(0.0, min(1.0, sel_ratio * prod_rate / true_rate))
+
+
+def _random_pdf(rng, size):
+    weights = [rng.random() for _ in range(size)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+# ----------------------------------------------------------------------
+# CumulativePdf
+# ----------------------------------------------------------------------
+
+class TestCumulativePdf:
+    def test_cdf_values(self):
+        c = CumulativePdf([0.5, 0.3, 0.2])
+        assert c.cdf(0) == pytest.approx(0.5)
+        assert c.cdf(1) == pytest.approx(0.8)
+        assert c.cdf(2) == pytest.approx(1.0)
+
+    def test_cdf_out_of_range(self):
+        c = CumulativePdf([0.5, 0.5])
+        assert c.cdf(-1) == 0.0
+        assert c.cdf(100) == pytest.approx(1.0)
+
+    def test_empty_pdf_rejected(self):
+        with pytest.raises(ValueError):
+            CumulativePdf([])
+
+    @pytest.mark.parametrize("step", [1, 2, 3, 7])
+    def test_strided_sum_matches_direct(self, step):
+        rng = random.Random(step)
+        pdf = _random_pdf(rng, 37)
+        c = CumulativePdf(pdf)
+        for start in (0, 1, 5, 20, 36, 40, 100):
+            for terms in (0, 1, 2, 10, 50):
+                direct = sum(
+                    brute_cdf(pdf, start + l * step) for l in range(terms)
+                )
+                assert c.strided_sum(start, step, terms) == pytest.approx(direct)
+
+    def test_strided_sum_negative_start(self):
+        pdf = [0.25, 0.25, 0.5]
+        c = CumulativePdf(pdf)
+        direct = sum(brute_cdf(pdf, -3 + l * 2) for l in range(6))
+        assert c.strided_sum(-3, 2, 6) == pytest.approx(direct)
+
+    def test_strided_sum_zero_terms(self):
+        assert CumulativePdf([1.0]).strided_sum(0, 1, 0) == 0.0
+
+    def test_strided_sum_invalid_step(self):
+        with pytest.raises(ValueError):
+            CumulativePdf([1.0]).strided_sum(0, 0, 3)
+
+
+# ----------------------------------------------------------------------
+# RecallModel
+# ----------------------------------------------------------------------
+
+def _inputs(m=2, rate=0.02, window=2_000, pdf=None, ksync=0.0):
+    pdf = pdf if pdf is not None else [0.7, 0.1, 0.1, 0.1]
+    return [
+        StreamModelInput(pdf=list(pdf), ksync_ms=ksync, rate_per_ms=rate, window_ms=window)
+        for _ in range(m)
+    ]
+
+
+class TestRecallModelBasics:
+    def test_needs_two_streams(self):
+        with pytest.raises(ValueError):
+            RecallModel(_inputs(m=2)[:1], 10, 10)
+
+    def test_invalid_b_or_g(self):
+        with pytest.raises(ValueError):
+            RecallModel(_inputs(), 0, 10)
+        with pytest.raises(ValueError):
+            RecallModel(_inputs(), 10, -1)
+
+    def test_in_order_probability_grows_with_k(self):
+        model = RecallModel(_inputs(), basic_window_ms=10, granularity_ms=10)
+        probabilities = [model.in_order_probability(0, k) for k in (0, 10, 20, 30)]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[0] == pytest.approx(0.7)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_ksync_adds_to_slack(self):
+        inputs = _inputs(ksync=20.0)
+        model = RecallModel(inputs, basic_window_ms=10, granularity_ms=10)
+        # slack = 0 + 20 → two buckets of pre-shift: cdf(2) = 0.9
+        assert model.in_order_probability(0, 0) == pytest.approx(0.9)
+
+    def test_true_result_rate_two_way_formula(self):
+        inputs = [
+            StreamModelInput(pdf=[1.0], ksync_ms=0, rate_per_ms=0.01, window_ms=1_000),
+            StreamModelInput(pdf=[1.0], ksync_ms=0, rate_per_ms=0.02, window_ms=3_000),
+        ]
+        model = RecallModel(inputs, 10, 10)
+        expected = 0.01 * (0.02 * 3_000) + 0.02 * (0.01 * 1_000)
+        assert model.true_result_rate() == pytest.approx(expected)
+
+    def test_gamma_is_one_for_in_order_streams(self):
+        inputs = _inputs(pdf=[1.0])
+        model = RecallModel(inputs, 10, 10)
+        assert model.gamma(0) == pytest.approx(1.0)
+
+    def test_gamma_reaches_one_at_large_k(self):
+        model = RecallModel(_inputs(), 10, 10)
+        assert model.gamma(1_000) == pytest.approx(1.0)
+
+    def test_gamma_monotone_in_k(self):
+        model = RecallModel(_inputs(m=3), 10, 10)
+        gammas = [model.gamma(k) for k in range(0, 200, 10)]
+        assert all(a <= b + 1e-12 for a, b in zip(gammas, gammas[1:]))
+
+    def test_gamma_bounded(self):
+        model = RecallModel(_inputs(), 10, 10)
+        for k in (0, 10, 50, 10_000):
+            assert 0.0 <= model.gamma(k, sel_ratio=5.0) <= 1.0
+
+    def test_gamma_scales_with_sel_ratio(self):
+        model = RecallModel(_inputs(), 10, 10)
+        low = model.gamma(0, sel_ratio=0.5)
+        high = model.gamma(0, sel_ratio=1.0)
+        assert low == pytest.approx(high * 0.5, rel=1e-9)
+
+    def test_zero_rate_gives_gamma_one(self):
+        inputs = _inputs(rate=0.0)
+        model = RecallModel(inputs, 10, 10)
+        assert model.gamma(0) == 1.0
+
+    def test_estimated_true_results_linear_in_interval(self):
+        model = RecallModel(_inputs(), 10, 10)
+        assert model.estimated_true_results(2_000) == pytest.approx(
+            2 * model.estimated_true_results(1_000)
+        )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "b,g",
+        [(10, 10), (10, 1), (10, 5), (100, 10), (10, 100), (10, 1000), (30, 7)],
+    )
+    def test_window_cardinality_matches_brute_force(self, b, g):
+        rng = random.Random(b * 1_000 + g)
+        pdf = _random_pdf(rng, 25)
+        s = StreamModelInput(pdf=pdf, ksync_ms=35.0, rate_per_ms=0.015, window_ms=730)
+        model = RecallModel([s, s], basic_window_ms=b, granularity_ms=g)
+        for k in (0, g, 3 * g, 17 * g):
+            expected = brute_window_cardinality(
+                pdf, k + 35, 0.015, 730, b, g
+            )
+            assert model.expected_window_cardinality(0, k) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    @pytest.mark.parametrize("b,g", [(10, 10), (10, 100), (50, 10)])
+    def test_gamma_matches_brute_force(self, m, b, g):
+        rng = random.Random(m * 10_000 + b * 100 + g)
+        inputs = []
+        for _ in range(m):
+            inputs.append(
+                StreamModelInput(
+                    pdf=_random_pdf(rng, rng.randint(5, 40)),
+                    ksync_ms=rng.choice([0.0, 12.0, 57.0]),
+                    rate_per_ms=rng.uniform(0.005, 0.05),
+                    window_ms=rng.choice([500, 1_000, 2_050]),
+                )
+            )
+        model = RecallModel(inputs, basic_window_ms=b, granularity_ms=g)
+        for k in (0, g, 5 * g, 40 * g):
+            assert model.gamma(k) == pytest.approx(
+                brute_gamma(inputs, k, b, g), rel=1e-9
+            )
+
+    def test_single_segment_window_counts_only_in_order(self):
+        # b >= W → n=1: the estimate must reduce to r*W*f(0) (paper note).
+        pdf = [0.6, 0.4]
+        s = StreamModelInput(pdf=pdf, ksync_ms=0, rate_per_ms=0.01, window_ms=100)
+        model = RecallModel([s, s], basic_window_ms=500, granularity_ms=10)
+        assert model.expected_window_cardinality(0, 0) == pytest.approx(
+            0.01 * 100 * 0.6
+        )

@@ -1,0 +1,265 @@
+"""Unit tests for the MSWJ operator, Alg. 2 (repro.join.mswj)."""
+
+import random
+
+import pytest
+
+from repro import (
+    EquiPredicate,
+    JoinCondition,
+    MSWJOperator,
+    StreamTuple,
+    ThetaPredicate,
+    equi_join_chain,
+)
+from repro.streams.source import Dataset
+
+from .reference import reference_join, result_key_set
+
+
+def _t(stream, ts, seq=None, **values):
+    return StreamTuple(ts=ts, values=values, stream=stream, seq=ts if seq is None else seq)
+
+
+def _equi2(attr="v"):
+    return JoinCondition([EquiPredicate(0, attr, 1, attr)])
+
+
+class TestInOrderExecution:
+    def test_simple_match(self):
+        op = MSWJOperator([1000, 1000], _equi2())
+        op.process(_t(0, 10, v=1))
+        results = op.process(_t(1, 20, v=1))
+        assert len(results) == 1
+        assert results[0].ts == 20
+
+    def test_no_match_on_different_values(self):
+        op = MSWJOperator([1000, 1000], _equi2())
+        op.process(_t(0, 10, v=1))
+        assert op.process(_t(1, 20, v=2)) == []
+
+    def test_result_timestamp_is_trigger_timestamp(self):
+        op = MSWJOperator([1000, 1000], _equi2())
+        op.process(_t(0, 10, v=1))
+        op.process(_t(0, 15, seq=11, v=1))
+        results = op.process(_t(1, 20, v=1))
+        assert {r.ts for r in results} == {20}
+        assert len(results) == 2
+
+    def test_window_expiration_prevents_old_matches(self):
+        op = MSWJOperator([100, 100], _equi2())
+        op.process(_t(0, 10, v=1))
+        # Trigger at ts 200: the ts-10 tuple is outside [100, 200].
+        assert op.process(_t(1, 200, v=1)) == []
+
+    def test_boundary_tuple_still_joins(self):
+        op = MSWJOperator([100, 100], _equi2())
+        op.process(_t(0, 100, v=1))
+        # ts 200 - W 100 = 100; expiration removes ts < 100 only.
+        assert len(op.process(_t(1, 200, v=1))) == 1
+
+    def test_asymmetric_windows(self):
+        # W0=50 (on stream 0's window), W1=500.
+        op = MSWJOperator([50, 500], _equi2())
+        op.process(_t(0, 100, v=1))
+        # Trigger from S1 at 300: S0 window of 50 → 100 < 250 expired.
+        assert op.process(_t(1, 300, v=1)) == []
+        op2 = MSWJOperator([500, 50], _equi2())
+        op2.process(_t(0, 100, v=1))
+        # Now S0's window is 500: 100 >= 300-500 still alive.
+        assert len(op2.process(_t(1, 300, v=1))) == 1
+
+    def test_cross_join_counts_products(self):
+        op = MSWJOperator([1000, 1000], JoinCondition())
+        op.process(_t(0, 1))
+        op.process(_t(0, 2, seq=12))
+        results = op.process(_t(1, 3))
+        assert len(results) == 2
+
+
+class TestOutOfOrderHandling:
+    def test_out_of_order_tuple_skips_probe(self):
+        op = MSWJOperator([1000, 1000], _equi2())
+        op.process(_t(0, 100, v=1))
+        op.process(_t(1, 100, v=1))  # onT = 100 (1 result)
+        # ts 50 < onT: no probe, no results, even though v matches.
+        assert op.process(_t(1, 50, seq=13, v=1)) == []
+        assert op.stats.tuples_out_of_order_kept == 1
+
+    def test_out_of_order_tuple_contributes_later(self):
+        op = MSWJOperator([1000, 1000], _equi2())
+        op.process(_t(0, 100, v=1))
+        op.process(_t(1, 50, v=1))  # in order at this point? ts 50 < onT=100 → out of order
+        results = op.process(_t(0, 120, seq=21, v=1))
+        # The kept out-of-order S1 tuple at ts 50 joins with the new trigger.
+        assert len(results) == 1
+
+    def test_expired_out_of_order_tuple_dropped(self):
+        op = MSWJOperator([100, 100], _equi2())
+        op.process(_t(0, 500, v=1))
+        op.process(_t(1, 300, v=1))  # 300 <= 500-100 → outside window scope
+        assert op.stats.tuples_dropped == 1
+        # It must not contribute later either.
+        assert op.process(_t(0, 501, seq=31, v=1)) == []
+
+    def test_boundary_out_of_order_scope(self):
+        # ei.ts > onT - Wi is strict: equality is dropped.
+        op = MSWJOperator([100, 100], _equi2())
+        op.process(_t(0, 500, v=1))
+        op.process(_t(1, 400, v=1))
+        assert op.stats.tuples_dropped == 1
+
+    def test_on_t_tracks_maximum(self):
+        op = MSWJOperator([100, 100], JoinCondition())
+        op.process(_t(0, 10))
+        op.process(_t(1, 5))
+        assert op.on_t == 10
+        op.process(_t(1, 30, seq=31))
+        assert op.on_t == 30
+
+    def test_equal_timestamp_is_in_order(self):
+        op = MSWJOperator([1000, 1000], _equi2())
+        op.process(_t(0, 100, v=1))
+        results = op.process(_t(1, 100, v=1))
+        assert len(results) == 1
+        assert op.stats.tuples_in_order == 2
+
+
+class TestProductivityCallback:
+    def test_in_order_counts(self):
+        records = []
+        op = MSWJOperator(
+            [1000, 1000],
+            _equi2(),
+            productivity_callback=lambda t, nx, non, ok: records.append(
+                (t.ts, nx, non, ok)
+            ),
+        )
+        op.process(_t(0, 10, v=1))
+        op.process(_t(0, 11, seq=11, v=2))
+        op.process(_t(1, 20, v=1))
+        assert records[0] == (10, 0, 0, True)  # S1 window empty: cross size 0
+        # At the S1 arrival, S0 window holds 2 tuples; 1 matches.
+        assert records[2] == (20, 2, 1, True)
+
+    def test_out_of_order_reports_none(self):
+        records = []
+        op = MSWJOperator(
+            [1000, 1000],
+            _equi2(),
+            productivity_callback=lambda t, nx, non, ok: records.append(
+                (nx, non, ok)
+            ),
+        )
+        op.process(_t(0, 100, v=1))
+        op.process(_t(1, 50, v=1))
+        assert records[-1] == (None, None, False)
+
+
+class TestCountOnlyMode:
+    def test_counts_match_collected_results(self):
+        rng = random.Random(1)
+        tuples = [
+            _t(rng.randrange(2), rng.randrange(0, 500), seq=i, v=rng.randrange(4))
+            for i in range(120)
+        ]
+        collect = MSWJOperator([200, 200], _equi2())
+        count = MSWJOperator([200, 200], _equi2(), collect_results=False)
+        total_collected = 0
+        total_counted = 0
+        for t in tuples:
+            total_collected += len(collect.process(t))
+        for t in tuples:
+            total_counted += count.process(t)
+        assert total_collected == total_counted
+
+    def test_count_mode_returns_int(self):
+        op = MSWJOperator([100, 100], _equi2(), collect_results=False)
+        assert op.process(_t(0, 1, v=1)) == 0
+        assert op.process(_t(1, 2, v=1)) == 1
+
+
+class TestAgainstReference:
+    def _run_ordered(self, dataset, windows, condition):
+        op = MSWJOperator(windows, condition)
+        produced = []
+        for t in dataset.sorted_by_timestamp():
+            produced.extend(op.process(t))
+        return produced
+
+    def _random_dataset(self, num_streams, count, seed, domain=3, span=400):
+        rng = random.Random(seed)
+        tuples = []
+        seqs = [0] * num_streams
+        for position in range(count):
+            stream = rng.randrange(num_streams)
+            t = StreamTuple(
+                ts=rng.randrange(span),
+                values={"v": rng.randrange(domain)},
+                stream=stream,
+                seq=seqs[stream],
+                arrival=position,
+            )
+            seqs[stream] += 1
+            tuples.append(t)
+        return Dataset(tuples, num_streams=num_streams)
+
+    def test_two_way_equi_matches_reference(self):
+        ds = self._random_dataset(2, 80, seed=5)
+        windows = [150, 150]
+        condition = _equi2()
+        produced = self._run_ordered(ds, windows, condition)
+        expected = reference_join(ds, windows, condition)
+        assert result_key_set(produced) == result_key_set(expected)
+        assert len(produced) == len(expected)
+
+    def test_three_way_chain_matches_reference(self):
+        ds = self._random_dataset(3, 60, seed=7)
+        windows = [120, 150, 100]
+        condition = equi_join_chain("v", 3)
+        produced = self._run_ordered(ds, windows, condition)
+        expected = reference_join(ds, windows, condition)
+        assert result_key_set(produced) == result_key_set(expected)
+
+    def test_theta_join_matches_reference(self):
+        ds = self._random_dataset(2, 70, seed=9, domain=10)
+        windows = [100, 200]
+        condition = JoinCondition(
+            [ThetaPredicate((0, 1), lambda a, b: abs(a["v"] - b["v"]) <= 2)]
+        )
+        produced = self._run_ordered(ds, windows, condition)
+        expected = reference_join(ds, windows, condition)
+        assert result_key_set(produced) == result_key_set(expected)
+
+    def test_cross_join_matches_reference(self):
+        ds = self._random_dataset(2, 40, seed=11)
+        windows = [80, 80]
+        condition = JoinCondition()
+        produced = self._run_ordered(ds, windows, condition)
+        expected = reference_join(ds, windows, condition)
+        assert len(produced) == len(expected)
+        assert result_key_set(produced) == result_key_set(expected)
+
+
+class TestValidation:
+    def test_needs_two_streams(self):
+        with pytest.raises(ValueError):
+            MSWJOperator([100], JoinCondition())
+
+    def test_condition_stream_bounds_checked(self):
+        with pytest.raises(ValueError):
+            MSWJOperator([100, 100], JoinCondition([EquiPredicate(0, "v", 5, "v")]))
+
+    def test_bad_tuple_stream_rejected(self):
+        op = MSWJOperator([100, 100], JoinCondition())
+        with pytest.raises(ValueError):
+            op.process(_t(7, 1))
+
+    def test_reset(self):
+        op = MSWJOperator([1000, 1000], _equi2())
+        op.process(_t(0, 10, v=1))
+        op.process(_t(1, 20, v=1))
+        op.reset()
+        assert op.on_t == 0
+        assert op.window_cardinalities() == [0, 0]
+        assert op.stats.results_produced == 0

@@ -1,0 +1,137 @@
+"""Tests for the out-of-order-tolerating join mode (paper footnote 2 / Fig. 1).
+
+``MSWJOperator(probe_out_of_order=True)`` probes on every arrival, so a
+late tuple still derives its results — but the result stream itself is
+then out of order and needs a :class:`ResultSorter` for ordered delivery.
+"""
+
+import random
+
+import pytest
+
+from repro import EquiPredicate, JoinCondition, MSWJOperator, StreamTuple
+from repro.core.result_sorter import ResultSorter
+from repro.streams.source import Dataset
+
+from .reference import reference_join, result_key_set
+
+
+def _t(stream, ts, seq=None, **values):
+    return StreamTuple(
+        ts=ts, values=values, stream=stream, seq=ts if seq is None else seq
+    )
+
+
+def _equi():
+    return JoinCondition([EquiPredicate(0, "v", 1, "v")])
+
+
+class TestLateProbing:
+    def test_late_tuple_recovers_result(self):
+        # Alg. 2 would lose this: the matching S1 tuple arrives late.
+        strict = MSWJOperator([1_000, 1_000], _equi())
+        strict.process(_t(0, 100, v=1))
+        strict.process(_t(1, 500, v=2))
+        assert strict.process(_t(1, 150, v=1)) == []  # out of order: lost
+
+        tolerant = MSWJOperator([1_000, 1_000], _equi(), probe_out_of_order=True)
+        tolerant.process(_t(0, 100, v=1))
+        tolerant.process(_t(1, 500, v=2))
+        results = tolerant.process(_t(1, 150, v=1))
+        assert len(results) == 1
+
+    def test_result_timestamp_is_max_component(self):
+        op = MSWJOperator([1_000, 1_000], _equi(), probe_out_of_order=True)
+        op.process(_t(0, 300, v=1))
+        op.process(_t(0, 500, seq=2, v=9))
+        results = op.process(_t(1, 200, v=1))  # late trigger, ts 200
+        assert [r.ts for r in results] == [300]
+
+    def test_pairwise_window_bounds_enforced(self):
+        # Window 100: the candidate at ts 350 is beyond the late
+        # trigger's upper reach (200 + 100), so no result.
+        op = MSWJOperator([100, 100], _equi(), probe_out_of_order=True)
+        op.process(_t(0, 350, v=1))
+        assert op.process(_t(1, 200, v=1)) == []
+
+    def test_requires_collect_mode(self):
+        with pytest.raises(ValueError):
+            MSWJOperator([100, 100], _equi(), collect_results=False,
+                         probe_out_of_order=True)
+
+    def test_no_duplicates_and_subset_of_truth(self):
+        rng = random.Random(3)
+        tuples = []
+        seqs = [0, 0]
+        for position in range(120):
+            stream = rng.randrange(2)
+            tuples.append(
+                StreamTuple(
+                    ts=rng.randrange(400),
+                    values={"v": rng.randrange(3)},
+                    stream=stream,
+                    seq=seqs[stream],
+                    arrival=position,
+                )
+            )
+            seqs[stream] += 1
+        ds = Dataset(tuples, num_streams=2)
+        op = MSWJOperator([150, 150], _equi(), probe_out_of_order=True)
+        produced = []
+        for t in ds.arrivals():
+            produced.extend(op.process(t))
+        truth_keys = result_key_set(reference_join(ds, [150, 150], _equi()))
+        produced_keys = result_key_set(produced)
+        assert len(produced) == len(produced_keys)  # no duplicates
+        assert produced_keys <= truth_keys
+
+    def test_recovers_more_than_alg2_under_disorder(self):
+        rng = random.Random(7)
+        arrivals = []
+        seqs = [0, 0]
+        for position in range(200):
+            stream = rng.randrange(2)
+            base = position * 5
+            delay = rng.choice([0, 0, 0, 60])
+            arrivals.append(
+                StreamTuple(
+                    ts=max(0, base - delay),
+                    values={"v": rng.randrange(2)},
+                    stream=stream,
+                    seq=seqs[stream],
+                    arrival=position,
+                )
+            )
+            seqs[stream] += 1
+        strict = MSWJOperator([100, 100], _equi())
+        tolerant = MSWJOperator([100, 100], _equi(), probe_out_of_order=True)
+        strict_count = sum(len(strict.process(t)) for t in arrivals)
+        tolerant_count = sum(len(tolerant.process(t)) for t in arrivals)
+        assert tolerant_count > strict_count
+
+
+class TestWithResultSorter:
+    def test_sorter_restores_ordered_output(self):
+        op = MSWJOperator([200, 200], _equi(), probe_out_of_order=True)
+        sorter = ResultSorter(100)
+        rng = random.Random(11)
+        emitted = []
+        seqs = [0, 0]
+        for position in range(150):
+            stream = rng.randrange(2)
+            base = position * 4
+            delay = rng.choice([0, 0, 40])
+            t = StreamTuple(
+                ts=max(0, base - delay),
+                values={"v": 1},
+                stream=stream,
+                seq=seqs[stream],
+                arrival=position,
+            )
+            seqs[stream] += 1
+            for result in op.process(t):
+                emitted.extend(sorter.process(result))
+        emitted.extend(sorter.flush())
+        timestamps = [r.ts for r in emitted]
+        assert timestamps == sorted(timestamps)
+        assert sorter.emitted == len(emitted)

@@ -1,0 +1,80 @@
+"""Unit tests for probe-order policies (repro.join.ordering)."""
+
+from repro import (
+    EquiPredicate,
+    IndexAwareOrder,
+    JoinCondition,
+    SlidingWindow,
+    SmallestWindowFirst,
+    StreamTuple,
+    ThetaPredicate,
+)
+from repro.join.ordering import default_policy
+
+
+def _windows(cardinalities, indexed=()):
+    windows = []
+    for index, count in enumerate(cardinalities):
+        attrs = indexed[index] if indexed else ()
+        w = SlidingWindow(1_000_000, indexed_attributes=attrs)
+        for seq in range(count):
+            w.insert(StreamTuple(ts=seq + 1, stream=index, seq=seq))
+        windows.append(w)
+    return windows
+
+
+class TestSmallestWindowFirst:
+    def test_orders_by_cardinality(self):
+        windows = _windows([5, 1, 3])
+        order = SmallestWindowFirst().order(0, windows, JoinCondition())
+        assert order == [1, 2]
+
+    def test_excludes_trigger(self):
+        windows = _windows([5, 1, 3])
+        order = SmallestWindowFirst().order(1, windows, JoinCondition())
+        assert 1 not in order
+        assert order == [2, 0]
+
+    def test_ties_broken_by_stream_index(self):
+        windows = _windows([2, 2, 2])
+        assert SmallestWindowFirst().order(2, windows, JoinCondition()) == [0, 1]
+
+
+class TestIndexAwareOrder:
+    def test_prefers_connected_streams(self):
+        # Chain 0-1-2: from trigger 0, stream 1 is index-reachable but
+        # stream 2 is not (until 1 is bound), even if 2 has fewer tuples.
+        condition = JoinCondition(
+            [EquiPredicate(0, "a", 1, "a"), EquiPredicate(1, "b", 2, "b")]
+        )
+        windows = _windows([3, 5, 1], indexed=[["a"], ["a", "b"], ["b"]])
+        order = IndexAwareOrder().order(0, windows, condition)
+        assert order == [1, 2]
+
+    def test_smallest_among_connected(self):
+        # Star centered at 0: both 1 and 2 reachable; pick the smaller.
+        condition = JoinCondition(
+            [EquiPredicate(0, "a", 1, "a"), EquiPredicate(0, "b", 2, "b")]
+        )
+        windows = _windows([3, 5, 1], indexed=[["a", "b"], ["a"], ["b"]])
+        order = IndexAwareOrder().order(0, windows, condition)
+        assert order == [2, 1]
+
+    def test_unconnected_streams_last(self):
+        condition = JoinCondition([EquiPredicate(0, "a", 1, "a")])
+        windows = _windows([3, 5, 1], indexed=[["a"], ["a"], []])
+        order = IndexAwareOrder().order(0, windows, condition)
+        assert order == [1, 2]
+
+
+class TestDefaultPolicy:
+    def test_equi_condition_gets_index_aware(self):
+        condition = JoinCondition([EquiPredicate(0, "a", 1, "a")])
+        assert isinstance(default_policy(condition), IndexAwareOrder)
+
+    def test_theta_condition_gets_smallest_window(self):
+        condition = JoinCondition([ThetaPredicate((0, 1), lambda a, b: True)])
+        assert isinstance(default_policy(condition), SmallestWindowFirst)
+
+    def test_cross_join_gets_smallest_window(self):
+        assert isinstance(default_policy(JoinCondition()), SmallestWindowFirst)

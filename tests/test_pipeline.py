@@ -1,0 +1,232 @@
+"""Unit and integration tests for the end-to-end pipeline (repro.core.pipeline)."""
+
+import pytest
+
+from repro import (
+    EquiPredicate,
+    FixedKPolicy,
+    JoinCondition,
+    MaxKSlackPolicy,
+    ModelBasedPolicy,
+    NoKSlackPolicy,
+    NonEqSel,
+    PipelineConfig,
+    QualityDrivenPipeline,
+    StreamTuple,
+    from_tuple_specs,
+)
+
+
+def _equi_config(**overrides):
+    kwargs = dict(
+        window_sizes_ms=[1_000, 1_000],
+        condition=JoinCondition([EquiPredicate(0, "v", 1, "v")]),
+        gamma=0.9,
+        period_ms=10_000,
+        interval_ms=1_000,
+        basic_window_ms=10,
+        granularity_ms=10,
+    )
+    kwargs.update(overrides)
+    return PipelineConfig(**kwargs)
+
+
+def _run(pipeline, specs):
+    """Feed (stream, ts, values) specs in arrival order; return all results."""
+    ds = from_tuple_specs(specs, num_streams=pipeline.num_streams)
+    results = []
+    for t in ds.arrivals():
+        results.extend(pipeline.process(t))
+    results.extend(pipeline.flush())
+    return results
+
+
+class TestConfigValidation:
+    def test_gamma_bounds(self):
+        with pytest.raises(ValueError):
+            _equi_config(gamma=0.0)
+        with pytest.raises(ValueError):
+            _equi_config(gamma=1.5)
+
+    def test_interval_must_not_exceed_period(self):
+        with pytest.raises(ValueError):
+            _equi_config(interval_ms=20_000, period_ms=10_000)
+
+    def test_positive_b_and_g(self):
+        with pytest.raises(ValueError):
+            _equi_config(basic_window_ms=0)
+        with pytest.raises(ValueError):
+            _equi_config(granularity_ms=0)
+
+
+class TestEndToEndJoin:
+    def test_in_order_streams_full_results(self):
+        pipeline = QualityDrivenPipeline(_equi_config(policy=NoKSlackPolicy()))
+        results = _run(
+            pipeline,
+            [
+                (0, 100, {"v": 1}),
+                (1, 150, {"v": 1}),
+                (0, 300, {"v": 2}),
+                (1, 350, {"v": 2}),
+            ],
+        )
+        assert len(results) == 2
+
+    def test_disorder_without_kslack_loses_results(self):
+        pipeline = QualityDrivenPipeline(_equi_config(policy=NoKSlackPolicy()))
+        # The matching S0 tuple arrives very late (delay > window).
+        results = _run(
+            pipeline,
+            [
+                (0, 5_000, {"v": 9}),
+                (1, 5_100, {"v": 9}),
+                (1, 8_000, {"v": 1}),
+                (0, 6_500, {"v": 1}),   # late: onT is 8000, outside W=1000
+            ],
+        )
+        assert len(results) == 1  # only the (9, 9) match
+
+    def test_fixed_k_recovers_late_results(self):
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=FixedKPolicy(2_000), initial_k_ms=2_000)
+        )
+        results = _run(
+            pipeline,
+            [
+                (0, 5_000, {"v": 9}),
+                (1, 5_100, {"v": 9}),
+                (1, 8_000, {"v": 1}),
+                (0, 7_500, {"v": 1}),   # delay 500 <= K
+                (0, 11_000, {"v": 3}),  # advances time so buffers drain
+                (1, 11_050, {"v": 3}),
+            ],
+        )
+        assert len(results) == 3
+
+    def test_flush_produces_buffered_results(self):
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=FixedKPolicy(100_000), initial_k_ms=100_000)
+        )
+        # Everything stays buffered until flush.
+        results = _run(
+            pipeline,
+            [(0, 100, {"v": 1}), (1, 150, {"v": 1})],
+        )
+        assert len(results) == 1
+
+    def test_flush_is_terminal(self):
+        pipeline = QualityDrivenPipeline(_equi_config())
+        pipeline.flush()
+        with pytest.raises(RuntimeError):
+            pipeline.process(StreamTuple(ts=1, stream=0, seq=0, arrival=1))
+
+    def test_double_flush_returns_empty(self):
+        pipeline = QualityDrivenPipeline(_equi_config())
+        pipeline.flush()
+        assert pipeline.flush() == []
+
+    def test_count_only_mode_counts(self):
+        pipeline = QualityDrivenPipeline(
+            _equi_config(collect_results=False, policy=NoKSlackPolicy())
+        )
+        total = 0
+        ds = from_tuple_specs(
+            [(0, 100, {"v": 1}), (1, 150, {"v": 1})], num_streams=2
+        )
+        for t in ds.arrivals():
+            total += pipeline.process(t)
+        total += pipeline.flush()
+        assert total == 1
+        assert pipeline.metrics.results_produced == 1
+
+
+class TestAdaptationScheduling:
+    def test_adaptation_every_interval(self):
+        pipeline = QualityDrivenPipeline(_equi_config(policy=NoKSlackPolicy()))
+        specs = [(0, ts, {"v": 1}) for ts in range(0, 5_500, 500)]
+        _run(pipeline, specs)
+        # App time reached 5000 → adaptations at 1000..5000.
+        assert pipeline.metrics.adaptations == 5
+
+    def test_adaptation_callback_fires_before_step(self):
+        seen = []
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=NoKSlackPolicy()),
+            on_adaptation=lambda p, boundary: seen.append(boundary),
+        )
+        _run(pipeline, [(0, ts, {"v": 1}) for ts in range(0, 3_500, 500)])
+        assert seen == [1_000, 2_000, 3_000]
+
+    def test_k_history_records_changes(self):
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=FixedKPolicy(300), initial_k_ms=0)
+        )
+        _run(pipeline, [(0, ts, {"v": 1}) for ts in range(0, 2_500, 500)])
+        ks = [k for _, k in pipeline.metrics.k_history]
+        assert ks[0] == 0
+        assert 300 in ks
+
+    def test_max_k_slack_updates_immediately(self):
+        pipeline = QualityDrivenPipeline(_equi_config(policy=MaxKSlackPolicy()))
+        ds = from_tuple_specs(
+            [(0, 1_000, {"v": 1}), (0, 400, {"v": 1})], num_streams=2
+        )
+        for t in ds.arrivals():
+            pipeline.process(t)
+        assert pipeline.current_k_ms == 600
+
+    def test_adaptation_times_recorded(self):
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=ModelBasedPolicy(NonEqSel()))
+        )
+        _run(pipeline, [(0, ts, {"v": 1}) for ts in range(0, 3_500, 500)])
+        assert len(pipeline.metrics.adaptation_seconds) == pipeline.metrics.adaptations
+        assert all(t >= 0 for t in pipeline.metrics.adaptation_seconds)
+
+    def test_on_results_callback(self):
+        produced = []
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=NoKSlackPolicy()),
+            on_results=lambda ts, count: produced.append((ts, count)),
+        )
+        _run(pipeline, [(0, 100, {"v": 1}), (1, 150, {"v": 1})])
+        assert produced == [(150, 1)]
+
+
+class TestMetrics:
+    def test_average_k_time_weighted(self):
+        from repro.core.pipeline import PipelineMetrics
+
+        metrics = PipelineMetrics()
+        metrics.k_history = [(0, 0), (1_000, 100)]
+        # 0 for 1s, 100 for 1s → average 50 over 2s.
+        assert metrics.average_k_ms(2_000) == pytest.approx(50.0)
+
+    def test_average_k_empty_history(self):
+        from repro.core.pipeline import PipelineMetrics
+
+        assert PipelineMetrics().average_k_ms(1_000) == 0.0
+
+    def test_latency_accounting(self):
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=FixedKPolicy(1_000), initial_k_ms=1_000)
+        )
+        _run(pipeline, [(0, ts, {"v": 1}) for ts in range(0, 4_000, 500)])
+        assert pipeline.metrics.latency_count > 0
+        assert pipeline.metrics.average_latency_ms() >= 0.0
+
+
+class TestModelBasedEndToEnd:
+    def test_adapts_k_to_nonzero_under_disorder(self):
+        pipeline = QualityDrivenPipeline(
+            _equi_config(policy=ModelBasedPolicy(NonEqSel()), gamma=0.99)
+        )
+        # Every 4th tuple of each stream is delayed by ~600 ms.
+        specs = []
+        for position, ts in enumerate(range(0, 20_000, 100)):
+            effective = ts - 600 if position % 4 == 3 else ts
+            specs.append((position % 2, max(0, effective), {"v": 1}))
+        _run(pipeline, specs)
+        ks = [k for _, k in pipeline.metrics.k_history]
+        assert max(ks) > 0

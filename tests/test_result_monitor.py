@@ -1,0 +1,110 @@
+"""Unit tests for the Result-Size Monitor and Eq. 7 (repro.core.result_monitor)."""
+
+import pytest
+
+from repro import ResultSizeMonitor
+
+
+class TestProducedWindow:
+    def test_counts_within_window(self):
+        monitor = ResultSizeMonitor(period_ms=10_000, interval_ms=1_000)
+        monitor.record_produced(1_000, 5)
+        monitor.record_produced(5_000, 3)
+        # Window is P-L = 9000 ms: at t=9000, bound is 0 → both inside.
+        assert monitor.produced_in_window(9_000) == 8
+
+    def test_old_results_age_out(self):
+        monitor = ResultSizeMonitor(period_ms=10_000, interval_ms=1_000)
+        monitor.record_produced(1_000, 5)
+        monitor.record_produced(5_000, 3)
+        # At t=10_500 the bound is 1_500: the ts-1000 batch ages out.
+        assert monitor.produced_in_window(10_500) == 3
+
+    def test_boundary_is_exclusive(self):
+        monitor = ResultSizeMonitor(period_ms=2_000, interval_ms=1_000)
+        monitor.record_produced(1_000, 1)
+        # Window (t - 1000, t]; at t=2000 the ts-1000 result is out.
+        assert monitor.produced_in_window(2_000) == 0
+
+    def test_zero_count_ignored(self):
+        monitor = ResultSizeMonitor(period_ms=2_000, interval_ms=1_000)
+        monitor.record_produced(100, 0)
+        assert monitor.produced_in_window(100) == 0
+
+
+class TestTrueHistory:
+    def test_history_sums_last_intervals(self):
+        monitor = ResultSizeMonitor(period_ms=4_000, interval_ms=1_000)
+        for value in (10.0, 20.0, 30.0):
+            monitor.record_true_estimate(value)
+        assert monitor.true_in_window() == pytest.approx(60.0)
+
+    def test_history_bounded_to_p_minus_l_intervals(self):
+        # (P-L)/L = 3 intervals retained.
+        monitor = ResultSizeMonitor(period_ms=4_000, interval_ms=1_000)
+        for value in (10.0, 20.0, 30.0, 40.0):
+            monitor.record_true_estimate(value)
+        assert monitor.true_in_window() == pytest.approx(90.0)
+
+    def test_p_equal_l_keeps_no_history(self):
+        monitor = ResultSizeMonitor(period_ms=1_000, interval_ms=1_000)
+        monitor.record_true_estimate(50.0)
+        assert monitor.true_in_window() == 0.0
+
+    def test_negative_estimates_clamped(self):
+        monitor = ResultSizeMonitor(period_ms=3_000, interval_ms=1_000)
+        monitor.record_true_estimate(-5.0)
+        assert monitor.true_in_window() == 0.0
+
+
+class TestInstantRequirement:
+    def test_eq7_hand_computed(self):
+        # P=3L; window P-L holds: produced 80 of true 100.
+        # Γ=0.9, next true 50: Γ' = (0.9*(100+50) - 80)/50 = 1.1 → clamp 1.0
+        monitor = ResultSizeMonitor(period_ms=3_000, interval_ms=1_000)
+        monitor.record_true_estimate(50.0)
+        monitor.record_true_estimate(50.0)
+        monitor.record_produced(1_500, 80)
+        assert monitor.instant_requirement(0.9, 50.0, 2_000) == pytest.approx(1.0)
+
+    def test_overshoot_relaxes_requirement(self):
+        # Produced matches truth fully → next interval may relax below Γ.
+        monitor = ResultSizeMonitor(period_ms=3_000, interval_ms=1_000)
+        monitor.record_true_estimate(50.0)
+        monitor.record_true_estimate(50.0)
+        monitor.record_produced(1_500, 100)
+        # Γ' = (0.9*150 - 100)/50 = 0.7
+        assert monitor.instant_requirement(0.9, 50.0, 2_000) == pytest.approx(0.7)
+
+    def test_undershoot_tightens_requirement(self):
+        monitor = ResultSizeMonitor(period_ms=3_000, interval_ms=1_000)
+        monitor.record_true_estimate(50.0)
+        monitor.record_true_estimate(50.0)
+        monitor.record_produced(1_500, 85)
+        # Γ' = (0.9*150 - 85)/50 = 1.0
+        assert monitor.instant_requirement(0.9, 50.0, 2_000) == pytest.approx(1.0)
+
+    def test_clamped_to_zero(self):
+        monitor = ResultSizeMonitor(period_ms=3_000, interval_ms=1_000)
+        monitor.record_true_estimate(10.0)
+        monitor.record_produced(1_500, 1_000)  # far more than needed
+        assert monitor.instant_requirement(0.9, 10.0, 2_000) == 0.0
+
+    def test_no_estimate_falls_back_to_gamma(self):
+        monitor = ResultSizeMonitor(period_ms=3_000, interval_ms=1_000)
+        assert monitor.instant_requirement(0.95, 0.0, 1_000) == pytest.approx(0.95)
+
+    def test_fresh_monitor_requires_gamma(self):
+        # Nothing produced, no history: Γ' = Γ (first interval must meet Γ).
+        monitor = ResultSizeMonitor(period_ms=3_000, interval_ms=1_000)
+        assert monitor.instant_requirement(0.9, 50.0, 0) == pytest.approx(0.9)
+
+
+class TestValidation:
+    def test_interval_exceeding_period_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSizeMonitor(period_ms=500, interval_ms=1_000)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSizeMonitor(period_ms=1_000, interval_ms=0)

@@ -1,0 +1,80 @@
+"""Unit tests for output-side result sorting (repro.core.result_sorter)."""
+
+import pytest
+
+from repro import JoinResult, StreamTuple
+from repro.core.result_sorter import ResultSorter
+
+
+def _result(ts):
+    return JoinResult(ts, (StreamTuple(ts=ts, stream=0, seq=ts),))
+
+
+def _feed(sorter, timestamps):
+    out = []
+    for ts in timestamps:
+        out.extend(r.ts for r in sorter.process(_result(ts)))
+    return out
+
+
+class TestRelease:
+    def test_k_zero_passthrough_in_order(self):
+        sorter = ResultSorter(0)
+        assert _feed(sorter, [1, 2, 3]) == [1, 2, 3]
+
+    def test_reorders_within_buffer(self):
+        sorter = ResultSorter(5)
+        released = _feed(sorter, [10, 7, 9, 20])
+        assert released == [7, 9, 10]
+
+    def test_release_is_sorted(self):
+        sorter = ResultSorter(3)
+        released = _feed(sorter, [5, 2, 8, 4, 12, 9, 30])
+        released += [r.ts for r in sorter.flush()]
+        assert released == sorted(released)
+
+    def test_flush_returns_rest_in_order(self):
+        sorter = ResultSorter(100)
+        _feed(sorter, [5, 2, 8])
+        assert [r.ts for r in sorter.flush()] == [2, 5, 8]
+        assert sorter.buffered == 0
+
+
+class TestDiscarding:
+    def test_straggler_below_watermark_discarded(self):
+        sorter = ResultSorter(0)
+        _feed(sorter, [10])          # watermark 10
+        assert _feed(sorter, [5]) == []
+        assert sorter.discarded == 1
+
+    def test_discarded_results_never_emitted(self):
+        sorter = ResultSorter(2)
+        released = _feed(sorter, [10, 20, 5, 30])
+        released += [r.ts for r in sorter.flush()]
+        assert 5 not in released
+        assert sorter.discarded == 1
+
+    def test_in_order_contract_never_violated(self):
+        sorter = ResultSorter(4)
+        released = _feed(sorter, [10, 3, 14, 6, 2, 18, 11, 25])
+        released += [r.ts for r in sorter.flush()]
+        assert released == sorted(released)
+
+    def test_emitted_plus_discarded_equals_input(self):
+        sorter = ResultSorter(3)
+        inputs = [10, 3, 14, 6, 2, 18, 11, 25, 1, 30]
+        _feed(sorter, inputs)
+        sorter.flush()
+        assert sorter.emitted + sorter.discarded == len(inputs)
+
+
+class TestValidation:
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ResultSorter(-1)
+
+    def test_counters_start_at_zero(self):
+        sorter = ResultSorter(10)
+        assert sorter.emitted == 0
+        assert sorter.discarded == 0
+        assert sorter.buffered == 0

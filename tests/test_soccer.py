@@ -1,0 +1,104 @@
+"""Unit tests for the simulated soccer dataset (repro.streams.soccer)."""
+
+import math
+
+from repro import SoccerConfig, make_soccer_dataset, player_distance, seconds
+from repro.streams.soccer import PITCH_LENGTH_M, PITCH_WIDTH_M, _Player
+import random
+
+
+def _small_config(**overrides):
+    kwargs = dict(
+        duration_ms=seconds(20),
+        players_per_team=4,
+        sample_period_ms=400,
+        max_delay_ms=(4_000, 5_000),
+        seed=13,
+    )
+    kwargs.update(overrides)
+    return SoccerConfig(**kwargs)
+
+
+class TestPlayerMovement:
+    def test_positions_stay_on_pitch(self):
+        player = _Player(1, random.Random(3))
+        for _ in range(2_000):
+            player.advance(0.2, (1.0, 7.0))
+            assert 0.0 <= player.x <= PITCH_LENGTH_M
+            assert 0.0 <= player.y <= PITCH_WIDTH_M
+
+    def test_movement_is_bounded_by_speed(self):
+        player = _Player(1, random.Random(4))
+        for _ in range(500):
+            x0, y0 = player.x, player.y
+            player.advance(0.1, (1.0, 7.0))
+            moved = math.hypot(player.x - x0, player.y - y0)
+            assert moved <= 7.0 * 0.1 + 1e-6
+
+    def test_player_actually_moves(self):
+        player = _Player(1, random.Random(5))
+        x0, y0 = player.x, player.y
+        player.advance(5.0, (1.0, 7.0))
+        assert (player.x, player.y) != (x0, y0)
+
+
+class TestSoccerDataset:
+    def test_two_streams(self):
+        ds = make_soccer_dataset(_small_config())
+        assert ds.num_streams == 2
+        assert len(ds.stream_tuples(0)) > 0
+        assert len(ds.stream_tuples(1)) > 0
+
+    def test_schema(self):
+        ds = make_soccer_dataset(_small_config())
+        t = ds.stream_tuples(0)[0]
+        assert set(t.values) == {"sID", "x", "y"}
+
+    def test_player_ids_encode_team(self):
+        ds = make_soccer_dataset(_small_config())
+        assert all(t["sID"] < 100 for t in ds.stream_tuples(0))
+        assert all(t["sID"] >= 100 for t in ds.stream_tuples(1))
+
+    def test_positions_within_pitch(self):
+        ds = make_soccer_dataset(_small_config())
+        for t in ds:
+            assert 0.0 <= t["x"] <= PITCH_LENGTH_M
+            assert 0.0 <= t["y"] <= PITCH_WIDTH_M
+
+    def test_delays_respect_per_team_caps(self):
+        config = _small_config(duration_ms=seconds(60), burst_probability=0.2)
+        ds = make_soccer_dataset(config)
+
+        def worst_delay(stream):
+            local = 0
+            worst = 0
+            for t in ds.stream_tuples(stream):
+                local = max(local, t.ts)
+                worst = max(worst, local - t.ts)
+            return worst
+
+        assert worst_delay(0) <= config.max_delay_ms[0]
+        assert worst_delay(1) <= config.max_delay_ms[1]
+
+    def test_deterministic_per_seed(self):
+        a = make_soccer_dataset(_small_config())
+        b = make_soccer_dataset(_small_config())
+        assert [t.ts for t in a] == [t.ts for t in b]
+        assert [(t["x"], t["y"]) for t in a] == [(t["x"], t["y"]) for t in b]
+
+    def test_bursts_create_disorder(self):
+        ds = make_soccer_dataset(
+            _small_config(duration_ms=seconds(120), burst_probability=0.1)
+        )
+        assert ds.max_delay() > 0
+
+
+class TestPlayerDistance:
+    def test_euclidean(self):
+        assert player_distance(0, 0, 3, 4) == 5.0
+
+    def test_zero_for_same_point(self):
+        assert player_distance(2.5, 7.0, 2.5, 7.0) == 0.0
+
+    def test_symmetry(self):
+        assert player_distance(1, 2, 5, 9) == player_distance(5, 9, 1, 2)

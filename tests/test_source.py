@@ -1,0 +1,119 @@
+"""Unit tests for datasets and arrival multiplexing (repro.streams.source)."""
+
+import pytest
+
+from repro import Dataset, StreamTuple, from_tuple_specs
+from repro.streams.source import interleave_round_robin, merge_by_arrival
+
+
+def _tuple(stream, ts, arrival, seq=0):
+    return StreamTuple(ts=ts, stream=stream, seq=seq, arrival=arrival)
+
+
+class TestDataset:
+    def test_rejects_bad_stream_index(self):
+        with pytest.raises(ValueError):
+            Dataset([_tuple(stream=5, ts=0, arrival=0)], num_streams=2)
+
+    def test_rejects_nonpositive_stream_count(self):
+        with pytest.raises(ValueError):
+            Dataset([], num_streams=0)
+
+    def test_len_and_iteration(self):
+        tuples = [_tuple(0, 1, 1), _tuple(1, 2, 2)]
+        ds = Dataset(tuples, num_streams=2)
+        assert len(ds) == 2
+        assert list(ds) == tuples
+
+    def test_sorted_by_timestamp_orders_globally(self):
+        ds = Dataset(
+            [_tuple(0, 30, 1), _tuple(1, 10, 2), _tuple(0, 20, 3, seq=1)],
+            num_streams=2,
+        )
+        assert [t.ts for t in ds.sorted_by_timestamp()] == [10, 20, 30]
+
+    def test_sorted_breaks_ties_by_arrival(self):
+        first = _tuple(0, 10, 1)
+        second = _tuple(1, 10, 2)
+        ds = Dataset([first, second], num_streams=2)
+        assert ds.sorted_by_timestamp() == [first, second]
+
+    def test_stream_tuples_filters(self):
+        ds = Dataset(
+            [_tuple(0, 1, 1), _tuple(1, 2, 2), _tuple(0, 3, 3, seq=1)], num_streams=2
+        )
+        assert [t.ts for t in ds.stream_tuples(0)] == [1, 3]
+
+    def test_max_timestamp(self):
+        ds = Dataset([_tuple(0, 7, 1), _tuple(0, 3, 2, seq=1)], num_streams=1)
+        assert ds.max_timestamp() == 7
+
+    def test_max_timestamp_empty(self):
+        assert Dataset([], num_streams=1).max_timestamp() == 0
+
+    def test_max_delay_replays_local_time(self):
+        # Arrival order: ts 10 then ts 4 (delay 6) then ts 12 (delay 0).
+        ds = Dataset(
+            [_tuple(0, 10, 1), _tuple(0, 4, 2, seq=1), _tuple(0, 12, 3, seq=2)],
+            num_streams=1,
+        )
+        assert ds.max_delay() == 6
+
+    def test_max_delay_is_per_stream(self):
+        # S0 leads in time, S1 lags, but each stream is internally ordered:
+        # no intra-stream delay.
+        ds = Dataset(
+            [_tuple(0, 100, 1), _tuple(1, 5, 2), _tuple(1, 6, 3, seq=1)],
+            num_streams=2,
+        )
+        assert ds.max_delay() == 0
+
+    def test_describe_mentions_name_and_counts(self):
+        ds = Dataset([_tuple(0, 1, 1)], num_streams=1, name="demo")
+        text = ds.describe()
+        assert "demo" in text
+        assert "1 tuples" in text
+
+
+class TestMergeByArrival:
+    def test_merges_in_arrival_order(self):
+        s0 = [_tuple(0, 5, 10), _tuple(0, 6, 30, seq=1)]
+        s1 = [_tuple(1, 1, 20)]
+        merged = merge_by_arrival([s0, s1])
+        assert [t.arrival for t in merged] == [10, 20, 30]
+
+    def test_ties_broken_by_stream_index(self):
+        s0 = [_tuple(0, 5, 10)]
+        s1 = [_tuple(1, 1, 10)]
+        merged = merge_by_arrival([s1, s0])
+        assert [t.stream for t in merged] == [0, 1]
+
+
+class TestInterleaveRoundRobin:
+    def test_alternates_streams(self):
+        s0 = [StreamTuple(ts=1, stream=0, seq=0), StreamTuple(ts=2, stream=0, seq=1)]
+        s1 = [StreamTuple(ts=1, stream=1, seq=0), StreamTuple(ts=2, stream=1, seq=1)]
+        merged = interleave_round_robin([s0, s1])
+        assert [t.stream for t in merged] == [0, 1, 0, 1]
+
+    def test_assigns_positional_arrivals(self):
+        s0 = [StreamTuple(ts=1, stream=0, seq=0)]
+        s1 = [StreamTuple(ts=1, stream=1, seq=0), StreamTuple(ts=2, stream=1, seq=1)]
+        merged = interleave_round_robin([s0, s1])
+        assert [t.arrival for t in merged] == [0, 1, 2]
+
+
+class TestFromTupleSpecs:
+    def test_builds_sequential_arrivals_and_seqs(self):
+        ds = from_tuple_specs(
+            [(0, 10, {"v": 1}), (1, 5), (0, 12)],
+            num_streams=2,
+        )
+        tuples = list(ds)
+        assert [t.arrival for t in tuples] == [0, 1, 2]
+        assert [t.seq for t in tuples] == [0, 0, 1]
+        assert tuples[0]["v"] == 1
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(ValueError):
+            from_tuple_specs([(0,)], num_streams=1)

@@ -1,0 +1,147 @@
+"""Unit tests for the Statistics Manager (repro.core.statistics)."""
+
+import pytest
+
+from repro import StatisticsManager, StreamStatistics, StreamTuple, coarse_delay
+
+
+def _observe(manager, stream, ts, arrival, delay=None):
+    t = StreamTuple(ts=ts, stream=stream, seq=0, arrival=arrival)
+    # In the pipeline the K-slack buffer annotates delays; emulate that.
+    t.delay = delay if delay is not None else 0
+    manager.observe_arrival(t)
+    return t
+
+
+class TestCoarseDelay:
+    def test_zero_maps_to_zero(self):
+        assert coarse_delay(0, 10) == 0
+
+    def test_buckets_are_left_open(self):
+        # (0, g] → 1, (g, 2g] → 2
+        assert coarse_delay(1, 10) == 1
+        assert coarse_delay(10, 10) == 1
+        assert coarse_delay(11, 10) == 2
+        assert coarse_delay(20, 10) == 2
+
+    def test_negative_clamped_to_zero(self):
+        assert coarse_delay(-5, 10) == 0
+
+
+class TestStreamStatistics:
+    def test_pdf_of_no_observations_is_point_mass(self):
+        s = StreamStatistics(granularity_ms=10)
+        assert s.delay_pdf() == [1.0]
+
+    def test_pdf_reflects_observed_delays(self):
+        s = StreamStatistics(granularity_ms=10)
+        for delay in (0, 0, 0, 10, 20):
+            s.observe(delay, arrival_ms=0, ksync_ms=None)
+        pdf = s.delay_pdf()
+        assert pdf[0] == pytest.approx(0.6)
+        assert pdf[1] == pytest.approx(0.2)
+        assert pdf[2] == pytest.approx(0.2)
+
+    def test_pdf_sums_to_one(self):
+        s = StreamStatistics(granularity_ms=10)
+        for delay in (0, 5, 13, 27, 41, 0, 8):
+            s.observe(delay, arrival_ms=0, ksync_ms=None)
+        assert sum(s.delay_pdf()) == pytest.approx(1.0)
+
+    def test_max_coarse_delay(self):
+        s = StreamStatistics(granularity_ms=10)
+        for delay in (0, 35):
+            s.observe(delay, arrival_ms=0, ksync_ms=None)
+        assert s.max_coarse_delay() == 4  # 35 ∈ (30, 40]
+
+    def test_rate_estimation(self):
+        s = StreamStatistics(granularity_ms=10)
+        for arrival in range(0, 1000, 100):
+            s.observe(0, arrival_ms=arrival, ksync_ms=None)
+        # 10 tuples over 900 ms span → 9 gaps / 900 ms = 0.01 per ms.
+        assert s.rate_per_ms() == pytest.approx(0.01)
+
+    def test_rate_needs_two_observations(self):
+        s = StreamStatistics(granularity_ms=10)
+        assert s.rate_per_ms() == 0.0
+        s.observe(0, arrival_ms=5, ksync_ms=None)
+        assert s.rate_per_ms() == 0.0
+
+    def test_mean_ksync(self):
+        s = StreamStatistics(granularity_ms=10)
+        s.observe(0, arrival_ms=0, ksync_ms=100)
+        s.observe(0, arrival_ms=1, ksync_ms=200)
+        assert s.mean_ksync() == pytest.approx(150.0)
+
+    def test_window_trimmed_after_change(self):
+        # A large distribution change must shrink the ADWIN window, which
+        # in turn drops old delays from the histogram.
+        s = StreamStatistics(granularity_ms=10, adwin_delta=0.01)
+        for _ in range(1_500):
+            s.observe(0, arrival_ms=0, ksync_ms=None)
+        for _ in range(1_500):
+            s.observe(5_000, arrival_ms=0, ksync_ms=None)
+        pdf = s.delay_pdf()
+        # After the shift the window is dominated by the 5000 ms regime.
+        assert pdf[0] < 0.5
+        assert s.window_length < 3_000
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            StreamStatistics(granularity_ms=0)
+
+
+class TestStatisticsManager:
+    def test_local_and_app_time(self):
+        m = StatisticsManager(2, granularity_ms=10)
+        _observe(m, 0, ts=100, arrival=100)
+        _observe(m, 1, ts=50, arrival=101)
+        assert m.local_time(0) == 100
+        assert m.local_time(1) == 50
+        assert m.app_time() == 100
+
+    def test_local_time_never_decreases(self):
+        m = StatisticsManager(1, granularity_ms=10)
+        _observe(m, 0, ts=100, arrival=0)
+        _observe(m, 0, ts=40, arrival=1)
+        assert m.local_time(0) == 100
+
+    def test_ksync_sampled_only_after_all_streams_seen(self):
+        m = StatisticsManager(2, granularity_ms=10)
+        _observe(m, 0, ts=100, arrival=0)
+        # No S1 tuple yet → no ksync samples recorded anywhere.
+        assert m.streams[0].mean_ksync() == 0.0
+        _observe(m, 1, ts=40, arrival=1)
+        _observe(m, 0, ts=110, arrival=2)
+        # S0's sample: 110 - min(110, 40) = 70.
+        assert m.streams[0].mean_ksync() == pytest.approx(70.0)
+
+    def test_ksync_estimates_rebased_to_slowest(self):
+        m = StatisticsManager(2, granularity_ms=10)
+        _observe(m, 0, ts=100, arrival=0)
+        _observe(m, 1, ts=40, arrival=1)
+        _observe(m, 0, ts=110, arrival=2)
+        _observe(m, 1, ts=50, arrival=3)
+        estimates = m.ksync_estimates_ms()
+        assert min(estimates) == pytest.approx(0.0)
+        assert estimates[0] > estimates[1]
+
+    def test_max_delay_over_all_streams(self):
+        m = StatisticsManager(2, granularity_ms=10)
+        _observe(m, 0, ts=100, arrival=0, delay=25)
+        _observe(m, 1, ts=100, arrival=1, delay=250)
+        # Bucket of 250 is 25 → 25 * 10 ms.
+        assert m.max_delay_ms() == 250
+
+    def test_bad_stream_index_rejected(self):
+        m = StatisticsManager(1, granularity_ms=10)
+        with pytest.raises(ValueError):
+            _observe(m, 3, ts=0, arrival=0)
+
+    def test_delay_pdfs_per_stream(self):
+        m = StatisticsManager(2, granularity_ms=10)
+        _observe(m, 0, ts=0, arrival=0, delay=0)
+        _observe(m, 1, ts=0, arrival=0, delay=15)
+        pdfs = m.delay_pdfs()
+        assert pdfs[0] == [1.0]
+        assert pdfs[1][2] == pytest.approx(1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for the Synchronizer, Alg. 1 (repro.core.synchronizer)."""
+
+import pytest
+
+from repro import StreamTuple, Synchronizer
+
+
+def _t(stream, ts, seq=0):
+    return StreamTuple(ts=ts, stream=stream, seq=seq)
+
+
+def _feed(sync, specs):
+    """Feed (stream, ts) pairs; return emitted (stream, ts) pairs in order."""
+    out = []
+    for seq, (stream, ts) in enumerate(specs):
+        out.extend((e.stream, e.ts) for e in sync.process(_t(stream, ts, seq)))
+    return out
+
+
+class TestBuffering:
+    def test_waits_for_all_streams(self):
+        sync = Synchronizer(2)
+        # Only S0 tuples: nothing can be emitted yet.
+        assert _feed(sync, [(0, 10), (0, 20)]) == []
+        assert sync.buffered == 2
+
+    def test_emits_when_every_stream_present(self):
+        sync = Synchronizer(2)
+        emitted = _feed(sync, [(0, 10), (0, 20), (1, 15)])
+        # Buffer had S0:{10,20}, S1:{15}: min 10 emitted; then S0:{20},
+        # S1:{15}: min 15 emitted; then S1 empty → stop.
+        assert emitted == [(0, 10), (1, 15)]
+        assert sync.buffered == 1
+        assert sync.t_sync == 15
+
+    def test_merges_sorted_streams_into_sorted_output(self):
+        sync = Synchronizer(2)
+        specs = [(0, 10), (1, 5), (0, 20), (1, 15), (0, 30), (1, 25), (1, 35)]
+        emitted = _feed(sync, specs)
+        timestamps = [ts for _, ts in emitted]
+        assert timestamps == sorted(timestamps)
+
+    def test_equal_timestamps_emitted_together(self):
+        sync = Synchronizer(2)
+        emitted = _feed(sync, [(0, 10), (1, 10), (0, 20), (1, 20)])
+        # Each time both streams are present, the full min-ts batch drains.
+        assert ([ts for _, ts in emitted]) == [10, 10, 20, 20]
+
+    def test_three_streams_gate_on_slowest(self):
+        sync = Synchronizer(3)
+        emitted = _feed(sync, [(0, 10), (1, 20)])
+        assert emitted == []
+        emitted = _feed(sync, [(2, 5)])
+        assert emitted == [(2, 5)]
+
+
+class TestStragglers:
+    def test_straggler_forwarded_immediately(self):
+        sync = Synchronizer(2)
+        _feed(sync, [(0, 10), (1, 15)])  # t_sync becomes 15 after drain... 10 then
+        t_sync = sync.t_sync
+        straggler = _t(0, t_sync - 1, seq=9)
+        emitted = sync.process(straggler)
+        assert emitted == [straggler]
+
+    def test_straggler_does_not_change_t_sync(self):
+        sync = Synchronizer(2)
+        _feed(sync, [(0, 10), (1, 15)])
+        before = sync.t_sync
+        sync.process(_t(0, before - 1, seq=9))
+        assert sync.t_sync == before
+
+    def test_equal_to_t_sync_is_straggler(self):
+        sync = Synchronizer(2)
+        _feed(sync, [(0, 10), (1, 15)])
+        t = _t(0, sync.t_sync, seq=9)
+        assert sync.process(t) == [t]
+
+
+class TestImplicitSlack:
+    def test_leading_stream_buffered_by_skew(self):
+        """The synchronizer implicitly sorts the leading stream (Sec. III-B).
+
+        S0 leads by a large skew; its out-of-order tuples (within the
+        skew) are fixed by the synchronization buffer even with K = 0.
+        """
+        sync = Synchronizer(2)
+        emitted = _feed(
+            sync,
+            [(0, 100), (0, 90), (0, 110), (1, 10), (1, 120), (1, 130)],
+        )
+        s0_ts = [ts for stream, ts in emitted if stream == 0]
+        assert s0_ts == sorted(s0_ts)
+
+
+class TestCloseAndFlush:
+    def test_closed_stream_stops_gating(self):
+        sync = Synchronizer(2)
+        _feed(sync, [(0, 10), (0, 20)])
+        emitted = sync.close_stream(1)
+        assert [(e.stream, e.ts) for e in emitted] == [(0, 10), (0, 20)]
+
+    def test_flush_emits_in_timestamp_order(self):
+        sync = Synchronizer(3)
+        _feed(sync, [(0, 30), (1, 10)])
+        flushed = sync.flush()
+        assert [e.ts for e in flushed] == [10, 30]
+        assert sync.buffered == 0
+
+    def test_flush_advances_t_sync(self):
+        sync = Synchronizer(2)
+        _feed(sync, [(0, 42)])
+        sync.flush()
+        assert sync.t_sync == 42
+
+    def test_buffered_of_counts_per_stream(self):
+        sync = Synchronizer(2)
+        _feed(sync, [(0, 10), (0, 20)])
+        assert sync.buffered_of(0) == 2
+        assert sync.buffered_of(1) == 0
+
+
+class TestValidation:
+    def test_bad_stream_index(self):
+        sync = Synchronizer(2)
+        with pytest.raises(ValueError):
+            sync.process(_t(5, 10))
+
+    def test_positive_stream_count_required(self):
+        with pytest.raises(ValueError):
+            Synchronizer(0)

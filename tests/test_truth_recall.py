@@ -1,0 +1,152 @@
+"""Unit tests for ground truth and recall measurement (repro.quality)."""
+
+import pytest
+
+from repro import (
+    EquiPredicate,
+    JoinCondition,
+    RecallMeter,
+    TruthIndex,
+    compute_truth,
+    from_tuple_specs,
+)
+
+from .reference import reference_join
+
+
+class TestTruthIndex:
+    def test_count_in_basic(self):
+        index = TruthIndex([(10, 2), (20, 3), (30, 1)])
+        assert index.count_in(0, 30) == 6
+        assert index.count_in(10, 30) == 4  # lo exclusive
+        assert index.count_in(10, 20) == 3
+        assert index.count_in(25, 28) == 0
+
+    def test_duplicate_timestamps_merge(self):
+        index = TruthIndex([(10, 2), (10, 3)])
+        assert index.count_in(0, 10) == 5
+
+    def test_total(self):
+        assert TruthIndex([(1, 4), (2, 6)]).total == 10
+
+    def test_empty(self):
+        index = TruthIndex([])
+        assert index.total == 0
+        assert index.count_in(0, 100) == 0
+        assert index.max_ts() == 0
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError):
+            TruthIndex([(20, 1), (10, 1)])
+
+    def test_count_up_to(self):
+        index = TruthIndex([(10, 1), (20, 1)])
+        assert index.count_up_to(15) == 1
+        assert index.count_up_to(20) == 2
+
+
+class TestComputeTruth:
+    def _dataset(self):
+        # Disordered arrival: the sorted replay must still find everything.
+        return from_tuple_specs(
+            [
+                (0, 50, {"v": 1}),
+                (1, 30, {"v": 1}),   # arrives after ts-50 tuple
+                (0, 10, {"v": 1}),
+                (1, 60, {"v": 1}),
+            ],
+            num_streams=2,
+        )
+
+    def test_matches_reference_join(self):
+        ds = self._dataset()
+        windows = [40, 40]
+        condition = JoinCondition([EquiPredicate(0, "v", 1, "v")])
+        truth = compute_truth(ds, windows, condition, keep_keys=True)
+        expected = reference_join(ds, windows, condition)
+        assert truth.index.total == len(expected)
+        assert truth.keys == {r.key() for r in expected}
+
+    def test_counts_only_mode(self):
+        ds = self._dataset()
+        truth = compute_truth(ds, [40, 40], JoinCondition([EquiPredicate(0, "v", 1, "v")]))
+        assert truth.keys is None
+        assert truth.index.total > 0
+
+
+class TestRecallMeter:
+    def _meter(self, period=100, warmup=0):
+        truth = TruthIndex([(10, 2), (50, 2), (90, 2)])
+        return RecallMeter(truth, period_ms=period, warmup_ms=warmup)
+
+    def test_full_recall(self):
+        meter = self._meter()
+        meter.record_produced(10, 2)
+        meter.record_produced(50, 2)
+        meter.record_produced(90, 2)
+        sample = meter.measure(100)
+        assert sample is not None
+        assert sample.recall == pytest.approx(1.0)
+
+    def test_partial_recall(self):
+        meter = self._meter()
+        meter.record_produced(10, 2)
+        meter.record_produced(50, 1)
+        sample = meter.measure(100)
+        assert sample.recall == pytest.approx(0.5)
+
+    def test_window_excludes_old_results(self):
+        meter = self._meter(period=50)
+        meter.record_produced(10, 2)   # outside (50, 100]
+        meter.record_produced(90, 2)
+        sample = meter.measure(100)
+        # truth in (50, 100] = 2 (ts 90); produced inside = 2.
+        assert sample.recall == pytest.approx(1.0)
+        assert sample.true == 2
+
+    def test_warmup_suppresses_measurements(self):
+        meter = self._meter(warmup=100)
+        meter.record_produced(10, 2)
+        assert meter.measure(99) is None
+        assert meter.measurements == []
+
+    def test_undefined_when_no_truth(self):
+        truth = TruthIndex([(1_000, 5)])
+        meter = RecallMeter(truth, period_ms=100, warmup_ms=0)
+        assert meter.measure(500) is None
+
+    def test_out_of_order_recording_folds_in(self):
+        meter = self._meter()
+        meter.record_produced(90, 1)
+        meter.record_produced(10, 1)  # straggler (terminal flush)
+        meter.record_produced(50, 1)
+        assert meter.produced_in(0, 100) == 3
+        assert meter.produced_in(0, 40) == 1
+
+    def test_fulfillment(self):
+        from repro import RecallMeasurement
+
+        meter = self._meter()
+        meter.measurements.extend(
+            [
+                RecallMeasurement(0, 0.99, 0, 0),
+                RecallMeasurement(1, 0.90, 0, 0),
+                RecallMeasurement(2, 0.80, 0, 0),
+            ]
+        )
+        assert meter.fulfillment(0.9) == pytest.approx(2 / 3)
+        assert meter.fulfillment(0.9, slack=0.99) == pytest.approx(2 / 3)
+        assert meter.fulfillment(0.8) == pytest.approx(1.0)
+
+    def test_fulfillment_vacuous_without_measurements(self):
+        assert self._meter().fulfillment(0.99) == 1.0
+
+    def test_recall_capped_at_one(self):
+        meter = self._meter()
+        meter.record_produced(50, 100)  # more than truth (defensive cap)
+        sample = meter.measure(100)
+        assert sample.recall == 1.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            RecallMeter(TruthIndex([]), period_ms=0)

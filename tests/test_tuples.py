@@ -1,0 +1,89 @@
+"""Unit tests for the tuple and time model (repro.core.tuples)."""
+
+import pytest
+
+from repro import JoinResult, StreamTuple, ms, seconds, to_seconds
+
+
+class TestTimeHelpers:
+    def test_seconds_converts_to_ms(self):
+        assert seconds(5) == 5000
+
+    def test_seconds_handles_fractions(self):
+        assert seconds(0.25) == 250
+
+    def test_seconds_rounds_rather_than_truncates(self):
+        assert seconds(0.0019) == 2
+
+    def test_ms_is_identity_on_ints(self):
+        assert ms(17) == 17
+
+    def test_ms_rounds_floats(self):
+        assert ms(16.7) == 17
+
+    def test_to_seconds_inverts_seconds(self):
+        assert to_seconds(seconds(3.5)) == pytest.approx(3.5)
+
+
+class TestStreamTuple:
+    def test_basic_construction(self):
+        t = StreamTuple(ts=100, values={"a1": 7}, stream=1, seq=3, arrival=120)
+        assert t.ts == 100
+        assert t.stream == 1
+        assert t.seq == 3
+        assert t.arrival == 120
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            StreamTuple(ts=-1)
+
+    def test_values_are_copied(self):
+        source = {"a1": 7}
+        t = StreamTuple(ts=0, values=source)
+        source["a1"] = 99
+        assert t["a1"] == 7
+
+    def test_getitem_and_get(self):
+        t = StreamTuple(ts=0, values={"x": 1.5})
+        assert t["x"] == 1.5
+        assert t.get("missing") is None
+        assert t.get("missing", 42) == 42
+
+    def test_delay_defaults_to_zero(self):
+        assert StreamTuple(ts=5).delay == 0
+
+    def test_equality_is_structural(self):
+        a = StreamTuple(ts=10, values={"v": 1}, stream=0, seq=2)
+        b = StreamTuple(ts=10, values={"v": 1}, stream=0, seq=2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_on_different_stream(self):
+        a = StreamTuple(ts=10, stream=0, seq=2)
+        b = StreamTuple(ts=10, stream=1, seq=2)
+        assert a != b
+
+    def test_identity_triple(self):
+        t = StreamTuple(ts=10, stream=2, seq=5)
+        assert t.identity() == (2, 5, 10)
+
+
+class TestJoinResult:
+    def _components(self):
+        return (
+            StreamTuple(ts=5, stream=0, seq=0),
+            StreamTuple(ts=8, stream=1, seq=1),
+        )
+
+    def test_key_is_component_identities(self):
+        r = JoinResult(8, self._components())
+        assert r.key() == ((0, 0, 5), (1, 1, 8))
+
+    def test_equality(self):
+        assert JoinResult(8, self._components()) == JoinResult(8, self._components())
+
+    def test_hashable(self):
+        assert len({JoinResult(8, self._components()), JoinResult(8, self._components())}) == 1
+
+    def test_timestamp_stored(self):
+        assert JoinResult(8, self._components()).ts == 8

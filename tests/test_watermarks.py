@@ -1,0 +1,129 @@
+"""Unit tests for watermark-based disorder handling (repro.core.watermarks)."""
+
+import pytest
+
+from repro import StreamTuple
+from repro.core.watermarks import (
+    WatermarkBuffer,
+    WatermarkFrontEnd,
+    WatermarkGenerator,
+)
+
+
+def _t(ts, stream=0, seq=0):
+    return StreamTuple(ts=ts, stream=stream, seq=seq)
+
+
+class TestWatermarkGenerator:
+    def test_watermark_lags_max_by_bound(self):
+        gen = WatermarkGenerator(bound_ms=100)
+        assert gen.observe(_t(500)) == 400
+
+    def test_watermarks_monotone(self):
+        gen = WatermarkGenerator(bound_ms=50)
+        first = gen.observe(_t(500))
+        assert first == 450
+        # A late tuple does not regress the watermark.
+        assert gen.observe(_t(100, seq=1)) is None
+        assert gen.current == 450
+
+    def test_emit_period(self):
+        gen = WatermarkGenerator(bound_ms=0, emit_every=3)
+        assert gen.observe(_t(10)) is None
+        assert gen.observe(_t(20, seq=1)) is None
+        assert gen.observe(_t(30, seq=2)) == 30
+
+    def test_clamped_at_zero(self):
+        gen = WatermarkGenerator(bound_ms=1_000)
+        assert gen.observe(_t(10)) == 0 or gen.observe(_t(10)) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WatermarkGenerator(-1)
+        with pytest.raises(ValueError):
+            WatermarkGenerator(10, emit_every=0)
+
+
+class TestWatermarkBuffer:
+    def test_holds_until_watermark(self):
+        buffer = WatermarkBuffer()
+        assert buffer.process(_t(100)) == []
+        assert buffer.buffered == 1
+        released = buffer.advance(100)
+        assert [t.ts for t in released] == [100]
+
+    def test_release_is_sorted(self):
+        buffer = WatermarkBuffer()
+        for seq, ts in enumerate([50, 20, 40, 10]):
+            buffer.process(_t(ts, seq=seq))
+        released = buffer.advance(45)
+        assert [t.ts for t in released] == [10, 20, 40]
+
+    def test_late_tuple_forwarded_immediately(self):
+        buffer = WatermarkBuffer()
+        buffer.process(_t(100))
+        buffer.advance(100)
+        late = _t(80, seq=1)
+        assert buffer.process(late) == [late]
+        assert buffer.late_tuples == 1
+
+    def test_watermark_never_regresses(self):
+        buffer = WatermarkBuffer()
+        buffer.advance(100)
+        assert buffer.advance(50) == []
+        assert buffer.watermark == 100
+
+    def test_flush(self):
+        buffer = WatermarkBuffer()
+        for seq, ts in enumerate([30, 10, 20]):
+            buffer.process(_t(ts, seq=seq))
+        assert [t.ts for t in buffer.flush()] == [10, 20, 30]
+        assert buffer.buffered == 0
+
+
+class TestWatermarkFrontEnd:
+    def _run(self, bound, timestamps):
+        front = WatermarkFrontEnd(num_streams=1, bound_ms=bound)
+        out = []
+        for seq, ts in enumerate(timestamps):
+            out.extend(front.process(_t(ts, seq=seq)))
+        out.extend(front.flush(0))
+        return front, [t.ts for t in out]
+
+    def test_conservation(self):
+        timestamps = [10, 40, 20, 60, 30, 90, 80]
+        __, released = self._run(30, timestamps)
+        assert sorted(released) == sorted(timestamps)
+
+    def test_sufficient_bound_yields_sorted_output(self):
+        timestamps = [10, 40, 20, 60, 30, 90, 80]
+        # Max delay here is 30 (ts 30 after ts 60): bound 30 sorts fully.
+        __, released = self._run(30, timestamps)
+        assert released == sorted(timestamps)
+
+    def test_insufficient_bound_leaks_late_tuples(self):
+        timestamps = [10, 100, 200, 20, 300, 400]
+        front, released = self._run(10, timestamps)
+        assert front.late_tuples() > 0
+        assert released != sorted(released)
+
+    def test_matches_kslack_with_equal_bound(self):
+        """With per-tuple watermarks, the front end equals K-slack(K=bound)."""
+        from repro import KSlackBuffer
+
+        timestamps = [100, 40, 130, 90, 160, 150, 200, 170]
+        bound = 60
+        kslack = KSlackBuffer(bound)
+        ks_out = []
+        for seq, ts in enumerate(timestamps):
+            ks_out.extend(x.ts for x in kslack.process(_t(ts, seq=seq)))
+        ks_out.extend(x.ts for x in kslack.flush())
+        __, wm_out = self._run(bound, timestamps)
+        assert wm_out == ks_out
+
+    def test_delay_annotation_set(self):
+        front = WatermarkFrontEnd(num_streams=1, bound_ms=50)
+        front.process(_t(100))
+        late = _t(60, seq=1)
+        front.process(late)
+        assert late.delay == 40

@@ -1,0 +1,93 @@
+"""Unit tests for the bounded Zipf sampler (repro.streams.zipf)."""
+
+import random
+
+import pytest
+
+from repro import BoundedZipf, ZipfValueSampler
+
+
+class TestBoundedZipf:
+    def test_pmf_sums_to_one(self):
+        z = BoundedZipf(100, 1.5)
+        assert sum(z.pmf(r) for r in range(1, 101)) == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        z = BoundedZipf(10, 0.0)
+        for rank in range(1, 11):
+            assert z.pmf(rank) == pytest.approx(0.1)
+
+    def test_pmf_monotonically_decreasing_for_positive_skew(self):
+        z = BoundedZipf(50, 2.0)
+        probabilities = [z.pmf(r) for r in range(1, 51)]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_higher_skew_concentrates_on_rank_one(self):
+        low = BoundedZipf(100, 1.0)
+        high = BoundedZipf(100, 3.0)
+        assert high.pmf(1) > low.pmf(1)
+
+    def test_sample_rank_within_support(self):
+        z = BoundedZipf(7, 1.0, rng=random.Random(3))
+        assert all(1 <= z.sample_rank() <= 7 for _ in range(500))
+
+    def test_sample_matches_pmf_roughly(self):
+        z = BoundedZipf(5, 2.0, rng=random.Random(11))
+        draws = [z.sample_rank() for _ in range(20_000)]
+        frequency = draws.count(1) / len(draws)
+        assert frequency == pytest.approx(z.pmf(1), abs=0.02)
+
+    def test_mean_rank_decreases_with_skew(self):
+        means = [BoundedZipf(100, skew).mean_rank() for skew in (0.0, 1.0, 2.0, 3.0)]
+        assert all(a > b for a, b in zip(means, means[1:]))
+
+    def test_single_rank_support(self):
+        z = BoundedZipf(1, 2.0)
+        assert z.pmf(1) == pytest.approx(1.0)
+        assert z.sample_rank() == 1
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(0, 1.0)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(10, -0.5)
+
+    def test_pmf_out_of_range_rejected(self):
+        z = BoundedZipf(4, 1.0)
+        with pytest.raises(ValueError):
+            z.pmf(5)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = BoundedZipf(20, 1.5, rng=random.Random(42))
+        b = BoundedZipf(20, 1.5, rng=random.Random(42))
+        assert [a.sample_rank() for _ in range(50)] == [
+            b.sample_rank() for _ in range(50)
+        ]
+
+
+class TestZipfValueSampler:
+    def test_samples_from_support(self):
+        sampler = ZipfValueSampler([10, 20, 30], 1.0, rng=random.Random(1))
+        assert all(sampler.sample() in (10, 20, 30) for _ in range(200))
+
+    def test_first_support_value_most_likely(self):
+        sampler = ZipfValueSampler(list(range(0, 100)), 2.5, rng=random.Random(5))
+        draws = [sampler.sample() for _ in range(5_000)]
+        assert draws.count(0) > draws.count(1) > 0
+
+    def test_set_skew_changes_distribution(self):
+        sampler = ZipfValueSampler(list(range(50)), 0.0, rng=random.Random(9))
+        sampler.set_skew(4.0)
+        draws = [sampler.sample() for _ in range(2_000)]
+        assert draws.count(0) / len(draws) > 0.5
+
+    def test_pmf_of_value(self):
+        sampler = ZipfValueSampler([5, 6], 0.0)
+        assert sampler.pmf_of_value(5) == pytest.approx(0.5)
+        assert sampler.pmf_of_value(99) == 0.0
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfValueSampler([], 1.0)
