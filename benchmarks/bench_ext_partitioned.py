@@ -1,0 +1,90 @@
+"""Extension — hash-partitioned parallel pipeline throughput (repro.parallel).
+
+Sweeps shard counts over the (D×3syn, Q×3) equi-join workload behind a
+fixed-K front end (K >= max realized delay, so disorder handling is
+lossless and every configuration must produce the identical result
+count).  Reports wall-clock and throughput for the single pipeline, the
+serial executor (the determinism baseline; no real parallelism, so its
+numbers expose pure routing overhead) and the multiprocessing executor
+(per-shard worker processes with batched tuple transfer — the actual
+scale-out path; speedup depends on how much join work each IPC'd tuple
+amortizes, so it grows with selectivity and window size).
+"""
+
+import time
+
+from common import experiment, report
+
+from repro import (
+    FixedKPolicy,
+    PipelineConfig,
+    QualityDrivenPipeline,
+    run_partitioned,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _config(exp, k_ms):
+    return PipelineConfig(
+        window_sizes_ms=list(exp.window_sizes_ms),
+        condition=exp.condition,
+        gamma=0.95,
+        period_ms=15_000,
+        interval_ms=1_000,
+        policy=FixedKPolicy(k_ms),
+        initial_k_ms=k_ms,
+        collect_results=False,
+    )
+
+
+def _sweep():
+    exp = experiment("d3")
+    dataset = exp.dataset()
+    k_ms = dataset.max_delay()
+    tuples = len(dataset)
+
+    rows = []
+    counts = {}
+
+    def record(label, count, elapsed):
+        counts[label] = count
+        rows.append((label, count, f"{elapsed:.2f}", f"{tuples / elapsed:,.0f}"))
+
+    started = time.perf_counter()
+    single = QualityDrivenPipeline(_config(exp, k_ms))
+    count = 0
+    for t in dataset.arrivals():
+        count += single.process(t)
+    count += single.flush()
+    record("single-pipeline", count, time.perf_counter() - started)
+
+    for shards in SHARD_COUNTS:
+        started = time.perf_counter()
+        count, _ = run_partitioned(
+            dataset, _config(exp, k_ms), shards, executor="serial"
+        )
+        record(f"serial x{shards}", count, time.perf_counter() - started)
+
+    for shards in SHARD_COUNTS:
+        started = time.perf_counter()
+        count, _ = run_partitioned(
+            dataset, _config(exp, k_ms), shards, executor="process", batch_size=512
+        )
+        record(f"process x{shards}", count, time.perf_counter() - started)
+
+    report(
+        "ext_partitioned",
+        "Extension — partitioned pipeline throughput vs shard count "
+        "(D3syn, Q3, fixed K)",
+        ["configuration", "results", "wall (s)", "tuples/s"],
+        rows,
+    )
+    return counts
+
+
+def test_ext_partitioned(benchmark):
+    counts = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # Lossless front end + exact equi partitioning: every configuration
+    # must produce the identical result count.
+    assert len(set(counts.values())) == 1

@@ -1,5 +1,30 @@
-"""Legacy shim: this environment's setuptools lacks bdist_wheel (no network),
-so `pip install -e . --no-use-pep517` needs a setup.py entry point."""
-from setuptools import setup
+"""Packaging entry point for the ``repro`` stream-join framework.
 
-setup()
+Kept as a ``setup.py`` (rather than pyproject-only metadata) because this
+environment's setuptools lacks ``bdist_wheel`` (no network), so
+``pip install -e . --no-use-pep517`` needs a setup.py entry point.  The
+package lives under the ``src/`` layout, so ``package_dir`` must be set
+explicitly — a bare ``setup()`` would install nothing.
+"""
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+# Single-source the version from the package itself.
+_version = re.search(
+    r'__version__ = "([^"]+)"',
+    Path(__file__).with_name("src").joinpath("repro", "__init__.py").read_text(),
+).group(1)
+
+setup(
+    name="repro-mswj",
+    version=_version,
+    description=(
+        "Reproduction of quality-driven disorder handling for m-way "
+        "sliding window stream joins (ICDE 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+)

@@ -55,6 +55,15 @@ from .join.conditions import (
     star_equi_join,
 )
 from .join.mswj import MSWJOperator
+from .parallel import (
+    KeyRouter,
+    MultiprocessingExecutor,
+    PartitionedPipeline,
+    SerialExecutor,
+    ShardExecutor,
+    ShardOutcome,
+    run_partitioned,
+)
 from .join.ordering import IndexAwareOrder, ProbeOrderPolicy, SmallestWindowFirst
 from .join.window import SlidingWindow
 from .quality.recall import RecallMeasurement, RecallMeter
@@ -72,7 +81,7 @@ from .streams.soccer import SoccerConfig, make_soccer_dataset, player_distance
 from .streams.source import Dataset, from_tuple_specs
 from .streams.zipf import BoundedZipf, ZipfValueSampler
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # time & tuples
@@ -93,6 +102,9 @@ __all__ = [
     "EquiPredicate", "BandPredicate", "ThetaPredicate", "equi_join_chain",
     "star_equi_join", "ProbeOrderPolicy", "SmallestWindowFirst",
     "IndexAwareOrder",
+    # parallel scale-out
+    "PartitionedPipeline", "KeyRouter", "ShardExecutor", "SerialExecutor",
+    "MultiprocessingExecutor", "ShardOutcome", "run_partitioned",
     # quality
     "RecallMeter", "RecallMeasurement", "TruthIndex", "compute_truth",
     # streams

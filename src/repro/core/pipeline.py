@@ -39,6 +39,21 @@ from .statistics import StatisticsManager
 from .synchronizer import Synchronizer
 from .tuples import JoinResult, StreamTuple
 
+#: What a pipeline emits: collected results or a bare count, depending on
+#: ``PipelineConfig.collect_results``.
+Outputs = Union[List[JoinResult], int]
+
+
+def empty_outputs(collect: bool) -> Outputs:
+    return [] if collect else 0
+
+
+def merge_outputs(collect: bool, accumulated: Outputs, new: Outputs) -> Outputs:
+    if collect:
+        accumulated.extend(new)  # type: ignore[union-attr,arg-type]
+        return accumulated
+    return accumulated + new  # type: ignore[operator]
+
 
 @dataclass
 class PipelineConfig:
@@ -102,6 +117,31 @@ class PipelineMetrics:
         if not self.adaptation_seconds:
             return 0.0
         return sum(self.adaptation_seconds) / len(self.adaptation_seconds)
+
+    @classmethod
+    def merge(cls, parts: Sequence["PipelineMetrics"]) -> "PipelineMetrics":
+        """Aggregate metrics of several (shard) pipelines into one.
+
+        Counters and latency moments add up; ``latency_max_ms`` is the
+        maximum across parts; ``adaptation_seconds`` are concatenated
+        (each shard runs its own adaptation loop); ``k_history`` is the
+        time-sorted interleaving of all shard histories, so
+        :meth:`average_k_ms` over the merged history is the time-weighted
+        average of the *union* of K-change events — an aggregate view of
+        concurrent shards, not any single shard's trajectory.
+        """
+        merged = cls()
+        for part in parts:
+            merged.k_history.extend(part.k_history)
+            merged.adaptation_seconds.extend(part.adaptation_seconds)
+            merged.adaptations += part.adaptations
+            merged.results_produced += part.results_produced
+            merged.tuples_processed += part.tuples_processed
+            merged.latency_sum_ms += part.latency_sum_ms
+            merged.latency_count += part.latency_count
+            merged.latency_max_ms = max(merged.latency_max_ms, part.latency_max_ms)
+        merged.k_history.sort(key=lambda entry: entry[0])
+        return merged
 
     def average_k_ms(self, end_time_ms: Optional[int] = None) -> float:
         """Time-weighted average K over the run (the paper's "Avg. K")."""
@@ -177,6 +217,12 @@ class QualityDrivenPipeline:
     def current_k_ms(self) -> int:
         return self._current_k
 
+    @property
+    def flushed(self) -> bool:
+        """True once :meth:`flush` ran; :meth:`process` then raises and
+        further :meth:`flush` calls return empty."""
+        return self._flushed
+
     def app_time_ms(self) -> int:
         """Global application-time progress (max local time across streams)."""
         return self.statistics.app_time()
@@ -214,9 +260,9 @@ class QualityDrivenPipeline:
     def flush(self) -> Union[List[JoinResult], int]:
         """Drain every buffer at end of input; returns the final results."""
         if self._flushed:
-            return [] if self.config.collect_results else 0
+            return empty_outputs(self.config.collect_results)
         self._flushed = True
-        outputs: Union[List[JoinResult], int] = [] if self.config.collect_results else 0
+        outputs = empty_outputs(self.config.collect_results)
         for stream, kslack in enumerate(self.kslacks):
             outputs = self._merge(outputs, self._route_to_join(kslack.flush()))
             emitted = self.synchronizer.close_stream(stream)
@@ -233,20 +279,17 @@ class QualityDrivenPipeline:
         accumulated: Union[List[JoinResult], int],
         new: Union[List[JoinResult], int],
     ) -> Union[List[JoinResult], int]:
-        if self.config.collect_results:
-            accumulated.extend(new)  # type: ignore[union-attr,arg-type]
-            return accumulated
-        return accumulated + new  # type: ignore[operator]
+        return merge_outputs(self.config.collect_results, accumulated, new)
 
     def _route_to_join(self, released: List[StreamTuple]) -> Union[List[JoinResult], int]:
-        outputs: Union[List[JoinResult], int] = [] if self.config.collect_results else 0
+        outputs = empty_outputs(self.config.collect_results)
         for t in released:
             emitted = self.synchronizer.process(t)
             outputs = self._merge(outputs, self._feed_join(emitted))
         return outputs
 
     def _feed_join(self, emitted: List[StreamTuple]) -> Union[List[JoinResult], int]:
-        outputs: Union[List[JoinResult], int] = [] if self.config.collect_results else 0
+        outputs = empty_outputs(self.config.collect_results)
         app_now = self.app_time_ms()
         for t in emitted:
             if t.arrival >= 0:

@@ -245,6 +245,59 @@ class JoinCondition:
         """Full evaluation; requires all referenced streams bound."""
         return all(predicate.evaluate(bound) for predicate in self.predicates)
 
+    def partition_attributes(self, num_streams: int) -> Optional[Dict[int, str]]:
+        """Per-stream attributes that co-partition the join, if any exist.
+
+        Hash partitioning an m-way join is exact when every stream can be
+        routed on an attribute such that all m components of any join
+        result carry the *same* value — then hashing that value sends all
+        contributing tuples to the same partition.  Equality propagates
+        transitively through equi predicates, so this runs a union-find
+        over ``(stream, attr)`` nodes with one edge per
+        :class:`EquiPredicate`: a connected component that covers **all**
+        ``num_streams`` streams yields a valid assignment (its attribute
+        on each stream).
+
+        Returns ``{stream: attr}`` for the first qualifying component (in
+        predicate order, so the choice is deterministic), or ``None`` when
+        the condition cannot be hash-partitioned exactly — e.g. a star
+        equi-join whose center matches each satellite on a different
+        attribute, band/theta predicates only, or the cross join.
+        """
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+        parent: Dict[Tuple[int, str], Tuple[int, str]] = {}
+
+        def find(node: Tuple[int, str]) -> Tuple[int, str]:
+            root = node
+            while parent[root] != root:
+                root = parent[root]
+            while parent[node] != root:  # path compression
+                parent[node], node = root, parent[node]
+            return root
+
+        for predicate in self.predicates:
+            if not isinstance(predicate, EquiPredicate):
+                continue
+            left = (predicate.left_stream, predicate.left_attr)
+            right = (predicate.right_stream, predicate.right_attr)
+            parent.setdefault(left, left)
+            parent.setdefault(right, right)
+            parent[find(left)] = find(right)
+
+        components: Dict[Tuple[int, str], Dict[int, str]] = {}
+        for node in parent:
+            stream, attr = node
+            members = components.setdefault(find(node), {})
+            # Keep the first attribute seen per stream (predicate order).
+            members.setdefault(stream, attr)
+        for members in components.values():
+            if len(members) == num_streams and set(members) == set(
+                range(num_streams)
+            ):
+                return dict(sorted(members.items()))
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if not self.predicates:
             return "JoinCondition(<cross join>)"

@@ -20,7 +20,7 @@ slot id to give O(1) removal and stable iteration.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..core.tuples import StreamTuple
 
@@ -45,7 +45,11 @@ class SlidingWindow:
         self._slots: Dict[int, StreamTuple] = {}
         self._next_slot = 0
         self._heap: List = []  # (ts, slot)
-        self._indexes: Dict[str, Dict[object, Set[int]]] = {
+        # Buckets are insertion-ordered Dict[int, None] rather than sets:
+        # slot ids are assigned monotonically and only ever removed, so
+        # dict order == sorted slot order, giving lookup() deterministic
+        # insertion-order candidates with no per-probe sort.
+        self._indexes: Dict[str, Dict[object, Dict[int, None]]] = {
             attr: {} for attr in indexed_attributes
         }
 
@@ -60,7 +64,7 @@ class SlidingWindow:
         heapq.heappush(self._heap, (t.ts, slot))
         for attr, index in self._indexes.items():
             value = t.get(attr)
-            index.setdefault(value, set()).add(slot)
+            index.setdefault(value, {})[slot] = None
 
     def expire_before(self, bound_ts: int) -> int:
         """Remove all tuples with ``ts < bound_ts``; return how many."""
@@ -75,7 +79,7 @@ class SlidingWindow:
                 value = t.get(attr)
                 bucket = index.get(value)
                 if bucket is not None:
-                    bucket.discard(slot)
+                    bucket.pop(slot, None)
                     if not bucket:
                         del index[value]
         return removed
@@ -105,7 +109,14 @@ class SlidingWindow:
         return attr in self._indexes
 
     def lookup(self, attr: str, value: object) -> List[StreamTuple]:
-        """Tuples whose ``attr`` equals ``value`` (requires an index on attr)."""
+        """Tuples whose ``attr`` equals ``value`` (requires an index on attr).
+
+        Candidates come back in slot-id (= insertion) order — probe order
+        decides the order of emitted results within one trigger, so this
+        is what makes two identical runs produce identical result
+        *sequences* (not just sets).  The order falls out of the
+        insertion-ordered buckets; no per-probe sort.
+        """
         index = self._indexes.get(attr)
         if index is None:
             raise KeyError(f"no index maintained on attribute {attr!r}")

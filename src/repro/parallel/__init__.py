@@ -1,0 +1,32 @@
+"""Hash-partitioned parallel execution of the quality-driven pipeline.
+
+Scale-out layer over the single-operator framework: a
+:class:`~repro.parallel.router.KeyRouter` hash-partitions the input by
+equi-join key, each shard runs a complete
+:class:`~repro.core.pipeline.QualityDrivenPipeline`, and two
+interchangeable executors drive the shards — in-process serial
+(deterministic) or per-shard worker processes with batched IPC.  See
+:mod:`repro.parallel.pipeline` for the exactness semantics.
+"""
+
+from .executors import (
+    DEFAULT_BATCH_SIZE,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ShardExecutor,
+)
+from .pipeline import PartitionedPipeline, run_partitioned
+from .router import KeyRouter, stable_hash
+from .shard import ShardOutcome
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "KeyRouter",
+    "MultiprocessingExecutor",
+    "PartitionedPipeline",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ShardOutcome",
+    "run_partitioned",
+    "stable_hash",
+]

@@ -1,0 +1,208 @@
+"""Shard executors: one submission interface, two execution strategies.
+
+* :class:`SerialExecutor` — every shard pipeline lives in-process and is
+  driven synchronously.  Deterministic and zero-overhead; the reference
+  executor the invariance tests run against.
+* :class:`MultiprocessingExecutor` — one worker process per shard with
+  batched tuple transfer: the parent buffers up to ``batch_size`` tuples
+  per shard before each pipe send, amortizing pickling and syscalls.
+  Results and metrics ride back once per shard at :meth:`~ShardExecutor.finish`.
+
+Both present the same lifecycle so
+:class:`~repro.parallel.pipeline.PartitionedPipeline` treats them
+uniformly: ``submit(shard, tuple)`` per routed tuple in arrival order,
+then ``finish()`` exactly once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from ..core.pipeline import PipelineConfig, QualityDrivenPipeline
+from ..core.tuples import StreamTuple
+from .shard import (
+    MSG_ABORT,
+    MSG_BATCH,
+    MSG_FLUSH,
+    Outputs,
+    ShardOutcome,
+    empty_outputs,
+    shard_worker,
+)
+
+#: Tuples buffered per shard before one IPC dispatch.  Amortizes the
+#: per-message pickling/pipe cost; raise it for throughput, lower it for
+#: bounded parent-side buffering.
+DEFAULT_BATCH_SIZE = 256
+
+
+class ShardExecutor(ABC):
+    """Owns N shard pipelines and feeds them routed tuples.
+
+    ``submit`` returns whatever results the shard makes available
+    *immediately*: the serial executor returns them per call, the
+    multiprocessing executor returns an empty batch and delivers
+    everything with the shard's :class:`~repro.parallel.shard.ShardOutcome`
+    at :meth:`finish`.  Accumulating all ``submit`` returns plus the
+    outcome outputs therefore yields the same multiset under either
+    executor.
+    """
+
+    def __init__(self, config: PipelineConfig, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.config = config
+        self.num_shards = num_shards
+
+    @abstractmethod
+    def submit(self, shard: int, t: StreamTuple) -> Outputs:
+        """Feed one tuple to ``shard``; return results available now."""
+
+    @abstractmethod
+    def finish(self) -> List[ShardOutcome]:
+        """Flush every shard; return per-shard outcomes (call once)."""
+
+    def close(self) -> None:
+        """Release shard resources without collecting outcomes.
+
+        For abandoning a run mid-stream (error paths, context-manager
+        exit before flush).  Idempotent; a no-op after :meth:`finish`.
+        """
+
+
+class SerialExecutor(ShardExecutor):
+    """All shards in-process, driven synchronously — deterministic."""
+
+    def __init__(self, config: PipelineConfig, num_shards: int) -> None:
+        super().__init__(config, num_shards)
+        self.pipelines = [
+            QualityDrivenPipeline(config) for _ in range(num_shards)
+        ]
+
+    def submit(self, shard: int, t: StreamTuple) -> Outputs:
+        return self.pipelines[shard].process(t)
+
+    def finish(self) -> List[ShardOutcome]:
+        return [
+            ShardOutcome(shard, pipeline.flush(), pipeline.metrics)
+            for shard, pipeline in enumerate(self.pipelines)
+        ]
+
+
+class MultiprocessingExecutor(ShardExecutor):
+    """One worker process per shard, batched tuple transfer over pipes.
+
+    Prefers the ``fork`` start method so non-picklable join conditions
+    (theta lambdas) reach the children by inheritance; under ``spawn``
+    the :class:`~repro.core.pipeline.PipelineConfig` must pickle.  Worker
+    failures surface as :class:`RuntimeError` from :meth:`finish`.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        num_shards: int,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        start_method: Optional[str] = None,
+    ) -> None:
+        super().__init__(config, num_shards)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self._batches: List[List[StreamTuple]] = [[] for _ in range(num_shards)]
+        self._connections = []
+        self._processes = []
+        self._finished = False
+        for shard in range(num_shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=shard_worker,
+                args=(child_conn, shard, config),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    def submit(self, shard: int, t: StreamTuple) -> Outputs:
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        batch = self._batches[shard]
+        batch.append(t)
+        if len(batch) >= self.batch_size:
+            self._send(shard, (MSG_BATCH, batch))
+            self._batches[shard] = []
+        return empty_outputs(self.config.collect_results)
+
+    def _send(self, shard: int, message) -> None:
+        # A worker that died (e.g. its pipeline raised) closes its end of
+        # the pipe; swallow the broken-pipe here so its error report —
+        # already buffered in the pipe — surfaces at finish().
+        try:
+            self._connections[shard].send(message)
+        except OSError:
+            pass
+
+    def finish(self) -> List[ShardOutcome]:
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        self._finished = True
+        outcomes: List[ShardOutcome] = []
+        try:
+            for shard in range(self.num_shards):
+                if self._batches[shard]:
+                    self._send(shard, (MSG_BATCH, self._batches[shard]))
+                    self._batches[shard] = []
+                self._send(shard, (MSG_FLUSH, None))
+            for shard, conn in enumerate(self._connections):
+                try:
+                    tag, payload = conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        f"shard {shard} worker died without reporting"
+                    ) from None
+                if tag != "ok":
+                    raise RuntimeError(f"shard {shard} worker failed: {payload}")
+                outcomes.append(payload)
+        finally:
+            for conn in self._connections:
+                conn.close()
+            for process in self._processes:
+                process.join(timeout=30)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=5)
+        return outcomes
+
+    def close(self) -> None:
+        """Terminate workers without collecting outcomes (abandoned run).
+
+        Without this, a pipeline dropped before ``flush()`` would leave
+        every worker blocked in ``recv`` (plus its pipe fds) until the
+        host process exits — daemon workers bound the damage at exit, but
+        long-lived hosts need the explicit release.
+        """
+        already_finished = self._finished
+        self._finished = True
+        if not already_finished:
+            for shard in range(self.num_shards):
+                self._send(shard, (MSG_ABORT, None))
+        for conn in self._connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        if already_finished:
+            return  # finish() already joined the workers
+        for process in self._processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)

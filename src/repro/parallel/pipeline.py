@@ -1,0 +1,222 @@
+"""Hash-partitioned parallel execution of the quality-driven pipeline.
+
+:class:`PartitionedPipeline` scales the single-operator
+:class:`~repro.core.pipeline.QualityDrivenPipeline` out to N shards, each
+a *complete* pipeline (its own K-slack buffers, Synchronizer, MSWJ and
+adaptation loop), with a :class:`~repro.parallel.router.KeyRouter`
+hash-routing every input tuple by the condition's equi-join key.  The
+shards run behind one of two interchangeable executors
+(:mod:`repro.parallel.executors`): in-process serial (deterministic; used
+by the invariance tests) or per-shard worker processes with batched IPC.
+
+Semantics
+---------
+* **Equi-partitionable conditions** (the router is :attr:`exact`): the
+  shards partition the result space, so the union of shard outputs is
+  exactly the single-pipeline result whenever disorder handling is
+  lossless — in-order input, or a fixed K covering the maximum delay.
+  Under *lossy* disorder handling each shard adapts K to its own
+  substream, so recall can deviate from (and typically exceeds) the
+  single pipeline's: a per-shard synchronizer forwards fewer stragglers.
+* **Non-partitionable conditions** (theta/band-only predicates, star
+  joins over distinct attributes, cross joins): every tuple is broadcast,
+  each shard maintains the full join state, and only the designated shard
+  0 emits — the result multiset is preserved, but there is no partition
+  parallelism and per-shard disorder handling remains approximate in the
+  lossy regime, so prefer ``num_shards=1`` for such conditions.
+  Broadcast deliberately keeps every shard's state complete (each could
+  be promoted to emitter), at the cost of the full join replicated per
+  shard — merged metrics count each replica's work, e.g.
+  ``tuples_processed`` is N× the input size.
+
+Results arrive through :meth:`PartitionedPipeline.process` (whatever the
+executor makes available immediately) and :meth:`PartitionedPipeline.flush`
+(the rest, merged across shards in timestamp order); metrics merge via
+:meth:`~repro.core.pipeline.PipelineMetrics.merge`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Union
+
+from ..core.pipeline import PipelineConfig, PipelineMetrics
+from ..core.tuples import JoinResult, StreamTuple
+from ..streams.source import Dataset
+from .executors import (
+    DEFAULT_BATCH_SIZE,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    ShardExecutor,
+)
+from .router import KeyRouter
+from .shard import Outputs, ShardOutcome, empty_outputs, merge_outputs
+
+#: An executor name or a factory ``(config, num_shards) -> ShardExecutor``.
+ExecutorSpec = Union[str, Callable[[PipelineConfig, int], ShardExecutor]]
+
+
+class PartitionedPipeline:
+    """N hash-partitioned shards behind the single-pipeline interface.
+
+    Parameters
+    ----------
+    config:
+        The shared per-shard :class:`~repro.core.pipeline.PipelineConfig`
+        (window sizes, condition, recall requirement, policy, ...).
+    num_shards:
+        Number of shard pipelines.
+    executor:
+        ``"serial"`` (default), ``"process"``, or a factory callable
+        ``(config, num_shards) -> ShardExecutor``.
+    batch_size:
+        Tuples buffered per shard before one IPC dispatch (``"process"``
+        executor only).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        num_shards: int,
+        executor: ExecutorSpec = "serial",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.config = config
+        self.num_shards = num_shards
+        self.router = KeyRouter(
+            config.condition, len(config.window_sizes_ms), num_shards
+        )
+        if executor == "serial":
+            self.executor: ShardExecutor = SerialExecutor(config, num_shards)
+        elif executor == "process":
+            self.executor = MultiprocessingExecutor(
+                config, num_shards, batch_size=batch_size
+            )
+        elif callable(executor):
+            self.executor = executor(config, num_shards)
+        else:
+            raise ValueError(
+                f"executor must be 'serial', 'process' or a factory, got {executor!r}"
+            )
+        # Broadcast replicates the full join on every shard; emitting from
+        # shard 0 alone keeps the output multiset exact.
+        self._emit_shards = (
+            frozenset(range(num_shards)) if self.router.exact else frozenset((0,))
+        )
+        self._flushed = False
+        self._outcomes: Optional[List[ShardOutcome]] = None
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    @property
+    def exact_partitioning(self) -> bool:
+        """True when the condition admits an exact equi partition key."""
+        return self.router.exact
+
+    @property
+    def flushed(self) -> bool:
+        return self._flushed
+
+    @property
+    def metrics(self) -> PipelineMetrics:
+        """Merged metrics across shards.
+
+        Live for the serial executor; for the process executor the shard
+        metrics only travel back at :meth:`flush`, so this raises before
+        then.
+        """
+        if self._outcomes is not None:
+            return PipelineMetrics.merge([o.metrics for o in self._outcomes])
+        if isinstance(self.executor, SerialExecutor):
+            return PipelineMetrics.merge(
+                [p.metrics for p in self.executor.pipelines]
+            )
+        raise RuntimeError(
+            "shard metrics unavailable: under the process executor they "
+            "only travel back on a successful flush()"
+        )
+
+    # ------------------------------------------------------------------
+    # streaming interface (mirrors QualityDrivenPipeline)
+    # ------------------------------------------------------------------
+
+    def process(self, t: StreamTuple) -> Outputs:
+        """Feed one raw tuple; return results made available right now."""
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        collect = self.config.collect_results
+        outputs = empty_outputs(collect)
+        for shard in self.router.route(t):
+            produced = self.executor.submit(shard, t)
+            if shard in self._emit_shards:
+                outputs = merge_outputs(collect, outputs, produced)
+        return outputs
+
+    def flush(self) -> Outputs:
+        """Flush every shard; return remaining results merged in ts order."""
+        collect = self.config.collect_results
+        if self._flushed:
+            return empty_outputs(collect)
+        self._flushed = True
+        self._outcomes = self.executor.finish()
+        emitted = [
+            outcome
+            for outcome in self._outcomes
+            if outcome.shard in self._emit_shards
+        ]
+        if collect:
+            results: List[JoinResult] = []
+            for outcome in emitted:
+                results.extend(outcome.outputs)  # type: ignore[arg-type]
+            results.sort(key=lambda r: r.ts)  # stable: shard order on ties
+            return results
+        return sum(outcome.outputs for outcome in emitted)  # type: ignore[misc]
+
+    def close(self) -> None:
+        """Release shard resources without draining (abandoning the run).
+
+        After ``close`` the pipeline behaves like a flushed one: further
+        ``process`` raises, ``flush`` returns empty.  A pipeline that was
+        already flushed closes cleanly (no-op for the serial executor).
+        Also runs on context-manager exit, so the worker processes of the
+        ``"process"`` executor cannot leak when the feed loop raises::
+
+            with PartitionedPipeline(config, 8, executor="process") as p:
+                for t in dataset.arrivals():
+                    p.process(t)
+                final = p.flush()
+        """
+        self._flushed = True
+        self.executor.close()
+
+    def __enter__(self) -> "PartitionedPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+def run_partitioned(
+    dataset: Dataset,
+    config: PipelineConfig,
+    num_shards: int,
+    executor: ExecutorSpec = "serial",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> tuple:
+    """Replay a finite dataset through a :class:`PartitionedPipeline`.
+
+    Returns ``(outputs, metrics)`` where ``outputs`` accumulates every
+    :meth:`~PartitionedPipeline.process` return plus the final
+    :meth:`~PartitionedPipeline.flush` — the full result multiset under
+    either executor.
+    """
+    with PartitionedPipeline(
+        config, num_shards, executor=executor, batch_size=batch_size
+    ) as pipeline:
+        collect = config.collect_results
+        outputs = empty_outputs(collect)
+        for t in dataset.arrivals():
+            outputs = merge_outputs(collect, outputs, pipeline.process(t))
+        outputs = merge_outputs(collect, outputs, pipeline.flush())
+        return outputs, pipeline.metrics

@@ -1,0 +1,113 @@
+"""Hash routing of input tuples to join shards.
+
+Partitioned execution of an equi-join is exact when every tuple can be
+routed by a key value that all components of any join result share (the
+shared-nothing stream-join partitioning of Chakraborty's windowed-join
+cluster work and PanJoin's hash sub-windows).  The
+:class:`KeyRouter` asks the :class:`~repro.join.conditions.JoinCondition`
+for such a per-stream key assignment
+(:meth:`~repro.join.conditions.JoinCondition.partition_attributes`) and
+hash-routes every tuple to exactly one shard.  Conditions without a
+complete equi key (pure theta/band predicates, star joins over distinct
+attributes, cross joins) fall back to *broadcast*: every shard receives
+every tuple and maintains the full join state, which gains no partition
+parallelism — callers should prefer one shard there.
+
+Hashing must agree across worker processes and across runs, so the
+router never uses the builtin ``hash`` (randomized per process for
+strings); see :func:`stable_hash`.
+"""
+
+from __future__ import annotations
+
+import numbers
+import zlib
+from typing import Dict, Optional, Tuple
+
+from ..core.tuples import StreamTuple
+from ..join.conditions import JoinCondition
+
+
+def stable_hash(value: object) -> int:
+    """Deterministic hash, stable across processes and interpreter runs.
+
+    Must be consistent with ``==`` on the key values equi predicates
+    compare, or tuples that join would land on different shards.  For
+    numbers Python's own ``hash`` already guarantees exactly that across
+    numeric types (``hash(5) == hash(5.0) == hash(Decimal(5)) ==
+    hash(Fraction(5))``) and — unlike string hashing — is *not*
+    randomized per process, so it is used directly.  Tuples (composite
+    keys) combine their elements' stable hashes recursively, so
+    ``(1, 2) == (1.0, 2.0)`` co-locates too; frozensets combine
+    commutatively (their repr order is not canonical).  Everything else
+    goes through CRC-32 of its ``repr``, which is process-stable; equal
+    keys of other kinds whose reprs differ (e.g. objects with the
+    default id-based repr) are not supported for exact routing.
+    """
+    if isinstance(value, numbers.Number):
+        if value != value:  # NaN: id-based hash since 3.10; pin it
+            return 0x7FC00000
+        return hash(value)
+    if isinstance(value, tuple):
+        combined = 0x345678
+        for item in value:
+            combined = ((combined * 1000003) ^ stable_hash(item)) & 0xFFFFFFFF
+        return combined ^ len(value)
+    if isinstance(value, frozenset):
+        # Unordered: equal frozensets may repr in different element order,
+        # so combine element hashes commutatively.
+        combined = 0
+        for item in value:
+            combined ^= stable_hash(item)
+        return combined ^ len(value)
+    return zlib.crc32(repr(value).encode("utf-8", "backslashreplace"))
+
+
+class KeyRouter:
+    """Routes each input tuple to one shard by equi-join key, or to all.
+
+    ``attributes`` is the per-stream key assignment (``None`` when the
+    condition is not hash-partitionable); :attr:`exact` tells callers
+    whether sharded execution partitions the result space exactly.
+    """
+
+    def __init__(
+        self, condition: JoinCondition, num_streams: int, num_shards: int
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self.num_streams = num_streams
+        self.attributes: Optional[Dict[int, str]] = condition.partition_attributes(
+            num_streams
+        )
+        self._all_shards: Tuple[int, ...] = tuple(range(num_shards))
+
+    @property
+    def exact(self) -> bool:
+        """True when hash partitioning preserves the exact result space."""
+        return self.attributes is not None
+
+    def key_of(self, t: StreamTuple) -> object:
+        """The tuple's partition-key value (requires :attr:`exact`)."""
+        if self.attributes is None:
+            raise ValueError("condition has no partition key; tuples broadcast")
+        return t.get(self.attributes[t.stream])
+
+    def shard_of(self, t: StreamTuple) -> Optional[int]:
+        """Target shard for ``t``, or ``None`` meaning broadcast.
+
+        A missing key attribute reads as ``None`` and hashes like any
+        other value — consistent with ``EquiPredicate``, where ``None``
+        only matches ``None``, so all such tuples meet in one shard.
+        """
+        if self.attributes is None:
+            return None
+        return stable_hash(self.key_of(t)) % self.num_shards
+
+    def route(self, t: StreamTuple) -> Tuple[int, ...]:
+        """Shards that must receive ``t`` (one, or all when broadcasting)."""
+        shard = self.shard_of(t)
+        if shard is None:
+            return self._all_shards
+        return (shard,)

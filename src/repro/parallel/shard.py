@@ -1,0 +1,81 @@
+"""One shard of a partitioned pipeline, and the executor↔worker protocol.
+
+A shard is simply a full :class:`~repro.core.pipeline.QualityDrivenPipeline`
+(K-slack fronts → Synchronizer → MSWJ → adaptation loop) fed the subset of
+tuples the :class:`~repro.parallel.router.KeyRouter` assigns it.  This
+module holds what both executors share:
+
+* :class:`ShardOutcome` — the record a shard hands back when it finishes
+  (its remaining outputs plus its :class:`~repro.core.pipeline.PipelineMetrics`);
+* :func:`shard_worker` — the child-process loop run by the
+  multiprocessing executor.
+
+The ``Outputs`` accumulation helpers (result lists vs. plain counts, per
+``PipelineConfig.collect_results``) live in :mod:`repro.core.pipeline`
+and are re-exported here for the rest of the parallel layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.pipeline import (
+    Outputs,
+    PipelineConfig,
+    PipelineMetrics,
+    QualityDrivenPipeline,
+    empty_outputs,
+    merge_outputs,
+)
+
+
+@dataclass
+class ShardOutcome:
+    """Everything one shard returns at the end of its run."""
+
+    shard: int
+    outputs: Outputs
+    metrics: PipelineMetrics
+
+
+# Message tags of the executor ↔ worker protocol.
+MSG_BATCH = "batch"
+MSG_FLUSH = "flush"
+MSG_ABORT = "abort"
+
+
+def shard_worker(conn, shard: int, config: PipelineConfig) -> None:
+    """Child-process loop: drain tuple batches, flush, send the outcome back.
+
+    Protocol (parent → child): any number of ``(MSG_BATCH, [tuples])``
+    messages, then exactly one ``(MSG_FLUSH, None)``.  The child replies
+    with a single ``("ok", ShardOutcome)`` — or ``("error", text)`` if the
+    pipeline raised — and exits.  Outputs accumulate in the child and
+    travel back once, so steady-state IPC is just the batched tuple
+    stream.  ``(MSG_ABORT, None)`` makes the child exit immediately with
+    no reply — the shutdown path for abandoned runs; an explicit message
+    rather than pipe EOF because under the ``fork`` start method sibling
+    workers inherit copies of earlier pipe ends, so a parent-side close
+    alone does not reach every child.
+    """
+    try:
+        pipeline = QualityDrivenPipeline(config)
+        collect = config.collect_results
+        outputs = empty_outputs(collect)
+        while True:
+            tag, payload = conn.recv()
+            if tag == MSG_ABORT:
+                return
+            if tag == MSG_FLUSH:
+                break
+            for t in payload:
+                outputs = merge_outputs(collect, outputs, pipeline.process(t))
+        outputs = merge_outputs(collect, outputs, pipeline.flush())
+        conn.send(("ok", ShardOutcome(shard, outputs, pipeline.metrics)))
+    except Exception as exc:  # surfaced by the parent as a RuntimeError
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:  # parent already gone; nothing left to report to
+            pass
+    finally:
+        conn.close()

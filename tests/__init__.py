@@ -1,0 +1,6 @@
+"""Test package for the repro framework.
+
+Making ``tests`` a package lets the modules that share the brute-force
+reference implementation import it relatively (``from .reference import
+reference_join``) regardless of the pytest invocation directory.
+"""

@@ -173,3 +173,56 @@ class TestAdaptationRobustness:
         pipeline.flush()
         ks = [k for _, k in pipeline.metrics.k_history]
         assert max(ks) >= 450
+
+
+class TestFlushProtocol:
+    """The pipeline's end-of-input contract (used by the parallel shards)."""
+
+    def test_flush_twice_is_idempotent(self):
+        pipeline = QualityDrivenPipeline(_equi_config())
+        ds = from_tuple_specs(
+            [(i % 2, 100 * i, {"v": 1}) for i in range(20)], num_streams=2
+        )
+        total = []
+        for t in ds.arrivals():
+            total.extend(pipeline.process(t))
+        total.extend(pipeline.flush())
+        produced = pipeline.metrics.results_produced
+        assert pipeline.flushed
+        assert pipeline.flush() == []
+        assert pipeline.metrics.results_produced == produced
+
+    def test_flush_twice_count_mode(self):
+        pipeline = QualityDrivenPipeline(_equi_config(collect_results=False))
+        ds = from_tuple_specs(
+            [(i % 2, 100 * i, {"v": 1}) for i in range(20)], num_streams=2
+        )
+        count = 0
+        for t in ds.arrivals():
+            count += pipeline.process(t)
+        count += pipeline.flush()
+        assert count > 0
+        assert pipeline.flush() == 0
+
+    def test_process_after_flush_raises(self):
+        pipeline = QualityDrivenPipeline(_equi_config())
+        assert not pipeline.flushed
+        pipeline.flush()
+        with pytest.raises(RuntimeError):
+            pipeline.process(StreamTuple(ts=1, values={"v": 1}, stream=0))
+
+    def test_close_stream_releases_tuples_gated_by_closed_empty_stream(self):
+        # Stream 1 never delivers, so its emptiness gates the buffer;
+        # closing it must release the waiting stream-0 tuples in ts order.
+        sync = Synchronizer(2)
+        held = []
+        for ts in (30, 10, 20):
+            held.extend(
+                sync.process(StreamTuple(ts=ts, stream=0, seq=ts))
+            )
+        assert held == []
+        assert sync.buffered == 3
+        released = sync.close_stream(1)
+        assert [t.ts for t in released] == [10, 20, 30]
+        assert sync.buffered == 0
+        assert sync.t_sync == 30

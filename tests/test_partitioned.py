@@ -1,0 +1,380 @@
+"""Tests for the hash-partitioned parallel pipeline (repro.parallel).
+
+The load-bearing property is *shard-count invariance*: for equi-join
+workloads, the partitioned engine's result multiset equals the single
+:class:`QualityDrivenPipeline`'s for any shard count, as long as disorder
+handling is lossless (fixed K covering the max delay, or in-order input).
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    BandPredicate,
+    EquiPredicate,
+    FixedKPolicy,
+    JoinCondition,
+    KeyRouter,
+    MultiprocessingExecutor,
+    PartitionedPipeline,
+    PipelineConfig,
+    PipelineMetrics,
+    QualityDrivenPipeline,
+    SerialExecutor,
+    StreamTuple,
+    ThetaPredicate,
+    equi_join_chain,
+    from_tuple_specs,
+    make_d3_syn,
+    run_partitioned,
+    seconds,
+    star_equi_join,
+)
+from repro.parallel.router import stable_hash
+
+
+def _d3(duration_s=15, seed=11):
+    return make_d3_syn(
+        duration_ms=seconds(duration_s), seed=seed, inter_arrival_ms=50
+    )
+
+
+def _lossless_config(dataset, condition, num_streams, collect=True):
+    """Fixed K >= realized max delay: disorder handling drops nothing."""
+    k = dataset.max_delay()
+    return PipelineConfig(
+        window_sizes_ms=[seconds(2)] * num_streams,
+        condition=condition,
+        gamma=0.95,
+        period_ms=seconds(10),
+        interval_ms=seconds(1),
+        policy=FixedKPolicy(k),
+        initial_k_ms=k,
+        collect_results=collect,
+    )
+
+
+def _single_run(dataset, config):
+    pipeline = QualityDrivenPipeline(config)
+    results = []
+    for t in dataset.arrivals():
+        results.extend(pipeline.process(t))
+    results.extend(pipeline.flush())
+    return results
+
+
+def _multiset(results):
+    return Counter(r.key() for r in results)
+
+
+class TestPartitionKeyExtraction:
+    def test_chain_equi_join_is_partitionable(self):
+        condition = equi_join_chain("a1", 3)
+        assert condition.partition_attributes(3) == {0: "a1", 1: "a1", 2: "a1"}
+
+    def test_transitive_closure_across_attributes(self):
+        # S0.x == S1.y and S1.y == S2.z: one equality class covers all.
+        condition = JoinCondition(
+            [EquiPredicate(0, "x", 1, "y"), EquiPredicate(1, "y", 2, "z")]
+        )
+        assert condition.partition_attributes(3) == {0: "x", 1: "y", 2: "z"}
+
+    def test_star_join_on_distinct_attributes_is_not(self):
+        condition = star_equi_join(0, {1: "a1", 2: "a2", 3: "a3"})
+        assert condition.partition_attributes(4) is None
+
+    def test_cross_join_and_theta_are_not(self):
+        assert JoinCondition([]).partition_attributes(2) is None
+        theta = JoinCondition(
+            [ThetaPredicate((0, 1), lambda a, b: True, name="t")]
+        )
+        assert theta.partition_attributes(2) is None
+        band = JoinCondition([BandPredicate(0, "v", 1, "v", 5.0)])
+        assert band.partition_attributes(2) is None
+
+    def test_key_covering_component_beats_partial_components(self):
+        # A non-covering equality class (streams 0-1 on "u") must not
+        # shadow the covering one (all streams on "a").
+        condition = JoinCondition(
+            [
+                EquiPredicate(0, "u", 1, "u"),
+                EquiPredicate(0, "a", 1, "a"),
+                EquiPredicate(1, "a", 2, "a"),
+            ]
+        )
+        assert condition.partition_attributes(3) == {0: "a", 1: "a", 2: "a"}
+
+
+class TestKeyRouter:
+    def test_exact_routing_sends_matching_tuples_together(self):
+        router = KeyRouter(equi_join_chain("a1", 2), 2, 4)
+        assert router.exact
+        for value in range(50):
+            shards = {
+                router.route(StreamTuple(ts=1, values={"a1": value}, stream=s))
+                for s in (0, 1)
+            }
+            assert len(shards) == 1  # both streams land on the same shard
+            assert len(shards.pop()) == 1  # exactly one shard each
+
+    def test_broadcast_fallback_routes_to_all_shards(self):
+        router = KeyRouter(JoinCondition([]), 2, 3)
+        assert not router.exact
+        assert router.route(StreamTuple(ts=1, stream=0)) == (0, 1, 2)
+        assert router.shard_of(StreamTuple(ts=1, stream=0)) is None
+
+    def test_stable_hash_is_equality_consistent(self):
+        # Values that compare equal under == must land on the same shard.
+        from decimal import Decimal
+        from fractions import Fraction
+
+        assert stable_hash(7) == stable_hash(7.0)
+        assert stable_hash(True) == stable_hash(1)
+        assert stable_hash(7) == stable_hash(Decimal(7))
+        assert stable_hash(2.5) == stable_hash(Fraction(5, 2))
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(None) == stable_hash(None)
+        # Composite (tuple) keys recurse element-wise.
+        assert stable_hash((1, 2)) == stable_hash((1.0, Decimal(2)))
+        assert stable_hash((1, ("x", 2))) == stable_hash((1, ("x", 2.0)))
+        assert stable_hash((1, 2)) != stable_hash((2, 1))
+        # Frozensets combine commutatively (repr order is not canonical).
+        assert stable_hash(frozenset((1, 9))) == stable_hash(frozenset((9, 1.0)))
+
+    def test_single_shard_router(self):
+        router = KeyRouter(equi_join_chain("a1", 2), 2, 1)
+        assert router.route(StreamTuple(ts=1, values={"a1": 3}, stream=0)) == (0,)
+
+
+class TestShardCountInvariance:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_serial_executor_matches_single_pipeline(self, shards):
+        dataset = _d3()
+        condition = equi_join_chain("a1", 3)
+        baseline = _multiset(
+            _single_run(dataset, _lossless_config(dataset, condition, 3))
+        )
+        outputs, metrics = run_partitioned(
+            dataset, _lossless_config(dataset, condition, 3), shards
+        )
+        assert _multiset(outputs) == baseline
+        assert metrics.tuples_processed == len(dataset)
+        assert metrics.results_produced == len(outputs)
+
+    def test_process_executor_matches_single_pipeline(self):
+        dataset = _d3(duration_s=10, seed=13)
+        condition = equi_join_chain("a1", 3)
+        baseline = _multiset(
+            _single_run(dataset, _lossless_config(dataset, condition, 3))
+        )
+        outputs, metrics = run_partitioned(
+            dataset,
+            _lossless_config(dataset, condition, 3),
+            2,
+            executor="process",
+            batch_size=64,
+        )
+        assert _multiset(outputs) == baseline
+        assert metrics.tuples_processed == len(dataset)
+
+    def test_count_only_mode_matches(self):
+        dataset = _d3(duration_s=10, seed=17)
+        condition = equi_join_chain("a1", 3)
+        baseline = len(
+            _single_run(dataset, _lossless_config(dataset, condition, 3))
+        )
+        for shards in (1, 3):
+            count, _ = run_partitioned(
+                dataset,
+                _lossless_config(dataset, condition, 3, collect=False),
+                shards,
+            )
+            assert count == baseline
+
+    def test_broadcast_condition_preserves_result_multiset(self):
+        # Band join is not partitionable: broadcast + shard-0 emission
+        # must still yield the exact single-pipeline multiset.
+        specs = [(i % 2, 100 * i, {"a1": i % 7}) for i in range(60)]
+        dataset = from_tuple_specs(specs, num_streams=2)
+        condition = JoinCondition([BandPredicate(0, "a1", 1, "a1", 1.0)])
+        config = _lossless_config(dataset, condition, 2)
+        baseline = _multiset(_single_run(dataset, config))
+        outputs, _ = run_partitioned(dataset, config, 3)
+        assert baseline  # fixture actually joins
+        assert _multiset(outputs) == baseline
+
+    def test_flush_returns_timestamp_ordered_results(self):
+        dataset = _d3(duration_s=8, seed=23)
+        condition = equi_join_chain("a1", 3)
+        pipeline = PartitionedPipeline(
+            _lossless_config(dataset, condition, 3), 4
+        )
+        for t in dataset.arrivals():
+            pipeline.process(t)
+        final = pipeline.flush()
+        assert [r.ts for r in final] == sorted(r.ts for r in final)
+
+
+class TestPartitionedLifecycle:
+    def test_process_after_flush_raises(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        pipeline = PartitionedPipeline(
+            _lossless_config(dataset, condition, 2), 2
+        )
+        assert not pipeline.flushed
+        pipeline.flush()
+        assert pipeline.flushed
+        assert pipeline.flush() == []  # idempotent
+        with pytest.raises(RuntimeError):
+            pipeline.process(StreamTuple(ts=1, values={"a1": 1}, stream=0))
+
+    def test_metrics_live_under_serial_executor(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        pipeline = PartitionedPipeline(
+            _lossless_config(dataset, condition, 2), 2
+        )
+        pipeline.process(StreamTuple(ts=1, values={"a1": 1}, stream=0))
+        assert pipeline.metrics.tuples_processed == 1
+
+    def test_metrics_deferred_under_process_executor(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        pipeline = PartitionedPipeline(
+            _lossless_config(dataset, condition, 2), 2, executor="process"
+        )
+        with pytest.raises(RuntimeError):
+            pipeline.metrics
+        pipeline.flush()
+        assert pipeline.metrics.tuples_processed == 0
+
+    def test_unknown_executor_rejected(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        with pytest.raises(ValueError):
+            PartitionedPipeline(
+                _lossless_config(dataset, condition, 2), 2, executor="threads"
+            )
+
+    def test_executor_factory_accepted(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        pipeline = PartitionedPipeline(
+            _lossless_config(dataset, condition, 2),
+            2,
+            executor=lambda config, shards: SerialExecutor(config, shards),
+        )
+        assert isinstance(pipeline.executor, SerialExecutor)
+
+    def test_close_without_flush_terminates_workers(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        pipeline = PartitionedPipeline(
+            _lossless_config(dataset, condition, 2), 2, executor="process"
+        )
+        pipeline.process(StreamTuple(ts=1, values={"a1": 1}, stream=0))
+        workers = pipeline.executor._processes
+        pipeline.close()
+        assert all(not worker.is_alive() for worker in workers)
+        with pytest.raises(RuntimeError):
+            pipeline.process(StreamTuple(ts=2, values={"a1": 1}, stream=0))
+        assert pipeline.flush() == []
+
+    def test_context_manager_closes_on_error(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        with pytest.raises(KeyError):
+            with PartitionedPipeline(
+                _lossless_config(dataset, condition, 2), 2, executor="process"
+            ) as pipeline:
+                workers = pipeline.executor._processes
+                raise KeyError("feed loop blew up")
+        assert all(not worker.is_alive() for worker in workers)
+
+    def test_close_after_flush_is_clean(self):
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        with PartitionedPipeline(
+            _lossless_config(dataset, condition, 2), 2, executor="process"
+        ) as pipeline:
+            pipeline.flush()
+        assert pipeline.flushed
+
+    def test_worker_failure_surfaces(self):
+        # A tuple with an out-of-range stream index makes the shard
+        # pipeline raise inside the worker; finish() must report it.
+        condition = equi_join_chain("a1", 2)
+        dataset = _d3(duration_s=2)
+        executor = MultiprocessingExecutor(
+            _lossless_config(dataset, condition, 2), 1, batch_size=1
+        )
+        executor.submit(0, StreamTuple(ts=1, values={"a1": 1}, stream=5))
+        with pytest.raises(RuntimeError, match="shard 0"):
+            executor.finish()
+
+
+class TestMetricsMerge:
+    def test_merge_aggregates_counters(self):
+        a = PipelineMetrics(
+            k_history=[(0, 0), (100, 50)],
+            adaptation_seconds=[0.1],
+            adaptations=1,
+            results_produced=3,
+            tuples_processed=10,
+            latency_sum_ms=30,
+            latency_count=3,
+            latency_max_ms=20,
+        )
+        b = PipelineMetrics(
+            k_history=[(0, 0), (50, 80)],
+            adaptation_seconds=[0.2, 0.3],
+            adaptations=2,
+            results_produced=5,
+            tuples_processed=12,
+            latency_sum_ms=50,
+            latency_count=4,
+            latency_max_ms=35,
+        )
+        merged = PipelineMetrics.merge([a, b])
+        assert merged.tuples_processed == 22
+        assert merged.results_produced == 8
+        assert merged.adaptations == 3
+        assert merged.latency_sum_ms == 80
+        assert merged.latency_count == 7
+        assert merged.latency_max_ms == 35
+        assert merged.adaptation_seconds == [0.1, 0.2, 0.3]
+        assert merged.k_history == [(0, 0), (0, 0), (50, 80), (100, 50)]
+        assert merged.average_latency_ms() == pytest.approx(80 / 7)
+
+    def test_merge_empty(self):
+        merged = PipelineMetrics.merge([])
+        assert merged.tuples_processed == 0
+        assert merged.average_k_ms() == 0.0
+
+
+class TestDeterminism:
+    def test_two_identical_seeded_runs_produce_identical_sequences(self):
+        # Regression for the SlidingWindow.lookup set-iteration bug: the
+        # emitted result *sequence* (not just set) must be reproducible.
+        condition = equi_join_chain("a1", 3)
+        sequences = []
+        for _ in range(2):
+            dataset = _d3(duration_s=10, seed=29)
+            results = _single_run(
+                dataset, _lossless_config(dataset, condition, 3)
+            )
+            sequences.append([r.key() for r in results])
+        assert sequences[0] == sequences[1]
+
+    def test_partitioned_serial_runs_are_deterministic(self):
+        condition = equi_join_chain("a1", 3)
+        sequences = []
+        for _ in range(2):
+            dataset = _d3(duration_s=8, seed=31)
+            outputs, _ = run_partitioned(
+                dataset, _lossless_config(dataset, condition, 3), 4
+            )
+            sequences.append([r.key() for r in outputs])
+        assert sequences[0] == sequences[1]

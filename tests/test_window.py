@@ -83,6 +83,20 @@ class TestIndexes:
         assert sorted(t.ts for t in w.lookup("v", "x")) == [1, 3]
         assert [t.ts for t in w.lookup("v", "y")] == [2]
 
+    def test_lookup_returns_insertion_order(self):
+        # Determinism regression: candidates must come back in sorted
+        # slot-id (= insertion) order, not Set iteration order, so the
+        # result sequence of a probe is reproducible across runs.
+        w = SlidingWindow(10_000, indexed_attributes=["v"])
+        timestamps = [907, 12, 455, 3001, 88, 2999, 640, 5, 1717]
+        for ts in timestamps:
+            w.insert(_t(ts, v="k"))
+        assert [t.ts for t in w.lookup("v", "k")] == timestamps
+        # Removals must not perturb the order of the survivors.
+        w.expire_before(100)
+        survivors = [ts for ts in timestamps if ts >= 100]
+        assert [t.ts for t in w.lookup("v", "k")] == survivors
+
     def test_lookup_missing_value_empty(self):
         w = SlidingWindow(1000, indexed_attributes=["v"])
         w.insert(_t(1, v="x"))
