@@ -129,7 +129,8 @@ class Adwin:
             )
         self._width += 1
         self._total += value
-        self._compress()
+        if len(row0.buckets) > self.max_buckets:
+            self._compress()
 
     def _compress(self) -> None:
         level = 0
@@ -195,10 +196,28 @@ class Adwin:
         """
         changed = False
         reduced = True
+        sqrt = math.sqrt
+
+        def window_terms():
+            n = float(self._width)
+            variance = self._variance / n if n else 0.0
+            log_term = math.log(2.0 * math.log(max(n, math.e)) / self.delta)
+            return (
+                self._width,
+                self._total,
+                log_term,
+                2.0 * variance * log_term,
+            )
+
         while reduced:
             reduced = False
-            # Walk boundaries from oldest to newest, accumulating the
-            # "old half" statistics.
+            # Window statistics only change on a drop, so the
+            # per-boundary Hoeffding terms that depend on them are
+            # hoisted out of the walk and refreshed after every drop
+            # (either here, when the walk restarts, or inline when a
+            # below-min_window drop lets the walk continue) — matching
+            # the reference code's live reads at each boundary.
+            width, total, log_term, variance_term = window_terms()
             n0 = 0.0
             sum0 = 0.0
             for level in range(len(self._rows) - 1, -1, -1):
@@ -206,28 +225,24 @@ class Adwin:
                 for bucket in reversed(self._rows[level].buckets):
                     n0 += capacity
                     sum0 += bucket.total
-                    n1 = self._width - n0
+                    n1 = width - n0
                     if n0 < 1 or n1 < 1:
                         continue
                     mean0 = sum0 / n0
-                    mean1 = (self._total - sum0) / n1
-                    if self._cut_expression(n0, n1, mean0, mean1):
+                    mean1 = (total - sum0) / n1
+                    inv_harmonic = 1.0 / n0 + 1.0 / n1
+                    epsilon = (
+                        sqrt(variance_term * inv_harmonic)
+                        + 2.0 / 3.0 * inv_harmonic * log_term
+                    )
+                    if abs(mean0 - mean1) > epsilon:
                         self._drop_oldest()
                         self._detections += 1
                         changed = True
                         reduced = self._width > self.min_window
+                        if not reduced:
+                            width, total, log_term, variance_term = window_terms()
                         break
                 if reduced:
                     break
         return changed
-
-    def _cut_expression(self, n0: float, n1: float, mean0: float, mean1: float) -> bool:
-        """Hoeffding-style test: is |mean0 - mean1| above epsilon_cut?"""
-        n = float(self._width)
-        harmonic = 1.0 / (1.0 / n0 + 1.0 / n1)
-        delta_prime = self.delta / math.log(max(n, math.e))
-        variance = self.variance()
-        epsilon = math.sqrt(
-            2.0 / harmonic * variance * math.log(2.0 / delta_prime)
-        ) + 2.0 / (3.0 * harmonic) * math.log(2.0 / delta_prime)
-        return abs(mean0 - mean1) > epsilon

@@ -20,7 +20,7 @@ the join operator for productivity profiling.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .tuples import StreamTuple
 
@@ -42,6 +42,7 @@ class KSlackBuffer:
         self._local_time: Optional[int] = None
         self._heap: List = []  # (ts, tie, tuple)
         self._tie = 0
+        self._flushed = False
         self.tuples_seen = 0
         self.max_observed_delay = 0
 
@@ -70,6 +71,12 @@ class KSlackBuffer:
     def buffered(self) -> int:
         return len(self._heap)
 
+    @property
+    def flushed(self) -> bool:
+        """True once :meth:`flush` ran; :meth:`process` then raises and
+        further :meth:`flush` calls return empty."""
+        return self._flushed
+
     # ------------------------------------------------------------------
     # streaming interface
     # ------------------------------------------------------------------
@@ -81,6 +88,10 @@ class KSlackBuffer:
         with ``iT - e.ts`` *after* updating ``iT`` (a tuple that advances
         the local time has delay 0).
         """
+        if self._flushed:
+            raise RuntimeError(
+                "K-slack buffer already flushed; create a new instance"
+            )
         if self._local_time is None or t.ts > self._local_time:
             self._local_time = t.ts
         t.delay = self._local_time - t.ts
@@ -89,6 +100,47 @@ class KSlackBuffer:
         heapq.heappush(self._heap, (t.ts, self._tie, t))
         self._tie += 1
         return self._drain_ready()
+
+    def process_batch(self, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        """Accept a burst of tuples in arrival order; return all releases.
+
+        Exactly equivalent to concatenating per-tuple :meth:`process`
+        returns (each tuple's arrival advances ``iT`` and drains before
+        the next is admitted, so stragglers interleave identically); the
+        batched loop hoists the heap and clock bookkeeping out of the
+        per-tuple call overhead.
+        """
+        if self._flushed:
+            raise RuntimeError(
+                "K-slack buffer already flushed; create a new instance"
+            )
+        released: List[StreamTuple] = []
+        append = released.append
+        heap = self._heap
+        push = heapq.heappush
+        pop = heapq.heappop
+        k = self._k
+        local_time = self._local_time
+        tie = self._tie
+        max_delay = self.max_observed_delay
+        for t in batch:
+            ts = t.ts
+            if local_time is None or ts > local_time:
+                local_time = ts
+            delay = local_time - ts
+            t.delay = delay
+            if delay > max_delay:
+                max_delay = delay
+            push(heap, (ts, tie, t))
+            tie += 1
+            bound = local_time - k
+            while heap and heap[0][0] <= bound:
+                append(pop(heap)[2])
+        self._local_time = local_time
+        self._tie = tie
+        self.max_observed_delay = max_delay
+        self.tuples_seen += len(batch)
+        return released
 
     def _drain_ready(self) -> List[StreamTuple]:
         if self._local_time is None:
@@ -100,7 +152,16 @@ class KSlackBuffer:
         return released
 
     def flush(self) -> List[StreamTuple]:
-        """Release everything still buffered (end of stream), in ts order."""
+        """Release everything still buffered (end of stream), in ts order.
+
+        Flushing is terminal: the buffer's clock (``iT``) and delay
+        statistics stop at their end-of-stream values, so a subsequent
+        :meth:`process` would annotate delays against a dead clock —
+        it raises instead.  Re-flushing is an idempotent no-op.
+        """
+        if self._flushed:
+            return []
+        self._flushed = True
         released = [entry[2] for entry in sorted(self._heap)]
         self._heap.clear()
         return released

@@ -109,6 +109,11 @@ class PipelineMetrics:
     latency_sum_ms: int = 0
     latency_count: int = 0
     latency_max_ms: int = 0
+    #: Populated by :meth:`merge` only: each constituent shard's own
+    #: ``k_history``, kept so :meth:`average_k_ms` can average the
+    #: per-shard K trajectories instead of misreading the interleaved
+    #: union as one trajectory.
+    shard_k_histories: List[List[Tuple[int, int]]] = field(default_factory=list)
 
     def average_latency_ms(self) -> float:
         return self.latency_sum_ms / self.latency_count if self.latency_count else 0.0
@@ -125,10 +130,15 @@ class PipelineMetrics:
         Counters and latency moments add up; ``latency_max_ms`` is the
         maximum across parts; ``adaptation_seconds`` are concatenated
         (each shard runs its own adaptation loop); ``k_history`` is the
-        time-sorted interleaving of all shard histories, so
-        :meth:`average_k_ms` over the merged history is the time-weighted
-        average of the *union* of K-change events — an aggregate view of
-        concurrent shards, not any single shard's trajectory.
+        time-sorted interleaving of all shard histories with the
+        duplicated initial epochs collapsed — every shard starts with the
+        same ``(0, initial_k)`` entry, and naively interleaving N copies
+        of it skews any reading of the merged history (equal *later*
+        entries are genuine concurrent adaptation events and are kept).
+        The shards' individual histories are preserved in
+        :attr:`shard_k_histories` so :meth:`average_k_ms` can average the
+        per-shard time-weighted trajectories instead of treating the
+        interleaving as one.
         """
         merged = cls()
         for part in parts:
@@ -140,29 +150,76 @@ class PipelineMetrics:
             merged.latency_sum_ms += part.latency_sum_ms
             merged.latency_count += part.latency_count
             merged.latency_max_ms = max(merged.latency_max_ms, part.latency_max_ms)
+            # Merging merged metrics flattens to the leaf shard
+            # trajectories — a part's interleaved union is not a
+            # trajectory any shard actually ran.
+            if part.shard_k_histories:
+                merged.shard_k_histories.extend(
+                    list(history) for history in part.shard_k_histories
+                )
+            else:
+                merged.shard_k_histories.append(list(part.k_history))
+        # Stable ts sort preserves each shard's own same-timestamp event
+        # order; then only the duplicated *initial* epochs collapse —
+        # every shard opens with the same (0, initial_k) entry, while
+        # equal later entries are real concurrent adaptation events that
+        # consumers (e.g. K-change counts) must still see.
         merged.k_history.sort(key=lambda entry: entry[0])
+        deduped: List[Tuple[int, int]] = []
+        seen_initial: set = set()
+        for entry in merged.k_history:
+            if entry[0] == 0:
+                if entry[1] in seen_initial:
+                    continue
+                seen_initial.add(entry[1])
+            deduped.append(entry)
+        merged.k_history = deduped
         return merged
 
-    def average_k_ms(self, end_time_ms: Optional[int] = None) -> float:
-        """Time-weighted average K over the run (the paper's "Avg. K")."""
-        if not self.k_history:
+    @staticmethod
+    def _time_weighted_k(
+        history: Sequence[Tuple[int, int]], end_time_ms: Optional[int]
+    ) -> float:
+        if not history:
             return 0.0
         if end_time_ms is None:
-            end_time_ms = self.k_history[-1][0]
+            end_time_ms = history[-1][0]
         weighted = 0.0
         span = 0
-        for index, (start, k) in enumerate(self.k_history):
+        for index, (start, k) in enumerate(history):
             end = (
-                self.k_history[index + 1][0]
-                if index + 1 < len(self.k_history)
+                history[index + 1][0]
+                if index + 1 < len(history)
                 else max(end_time_ms, start)
             )
             duration = max(0, end - start)
             weighted += k * duration
             span += duration
         if span == 0:
-            return float(self.k_history[-1][1])
+            return float(history[-1][1])
         return weighted / span
+
+    def average_k_ms(self, end_time_ms: Optional[int] = None) -> float:
+        """Time-weighted average K over the run (the paper's "Avg. K").
+
+        On merged metrics this is the mean of the per-shard time-weighted
+        averages — the shards buffer concurrently, so their trajectories
+        average rather than concatenate.  When no explicit end time is
+        given, every shard is evaluated up to the latest K-change across
+        all shards (a shard that stopped adapting early still spent the
+        rest of the run at its final K).
+        """
+        if self.shard_k_histories:
+            if end_time_ms is None:
+                end_time_ms = max(
+                    (h[-1][0] for h in self.shard_k_histories if h), default=None
+                )
+            averages = [
+                self._time_weighted_k(history, end_time_ms)
+                for history in self.shard_k_histories
+            ]
+            return sum(averages) / len(averages)
+        return self._time_weighted_k(self.k_history, end_time_ms)
 
 
 #: Invoked right before each adaptation step: (pipeline, app_time_ms).
@@ -257,6 +314,53 @@ class QualityDrivenPipeline:
             outputs = self._merge(outputs, self._adapt(boundary))
         return outputs
 
+    def process_batch(
+        self, batch: Sequence[StreamTuple]
+    ) -> Union[List[JoinResult], int]:
+        """Feed a burst of raw tuples in arrival order; return all results.
+
+        Exactly equivalent to concatenating per-tuple :meth:`process`
+        returns — every tuple still advances the statistics clock, may
+        trigger a continuous-policy K bump, and adaptation boundaries are
+        honoured mid-batch.  The batched loop amortizes the per-tuple
+        attribute lookups and the adaptation-boundary bookkeeping, and
+        routes each tuple's K-slack releases through the Synchronizer and
+        the join as one burst.
+        """
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        collect = self.config.collect_results
+        outputs = empty_outputs(collect)
+        kslacks = self.kslacks
+        num_streams = self.num_streams
+        observe_arrival = self.statistics.observe_arrival
+        on_arrival = self.policy.on_arrival
+        app_time = self.statistics.app_time
+        metrics = self.metrics
+        interval_ms = self.config.interval_ms
+        for t in batch:
+            stream = t.stream
+            if not 0 <= stream < num_streams:
+                raise ValueError(
+                    f"tuple stream index {stream} outside [0, {num_streams})"
+                )
+            metrics.tuples_processed += 1
+            released = kslacks[stream].process(t)
+            observe_arrival(t)
+
+            immediate_k = on_arrival(t)
+            if immediate_k is not None and immediate_k != self._current_k:
+                released.extend(self._apply_k(immediate_k))
+
+            if released:
+                outputs = self._merge(outputs, self._route_to_join(released))
+
+            while app_time() >= self._next_adaptation_ms:
+                boundary = self._next_adaptation_ms
+                self._next_adaptation_ms += interval_ms
+                outputs = self._merge(outputs, self._adapt(boundary))
+        return outputs
+
     def flush(self) -> Union[List[JoinResult], int]:
         """Drain every buffer at end of input; returns the final results."""
         if self._flushed:
@@ -282,32 +386,44 @@ class QualityDrivenPipeline:
         return merge_outputs(self.config.collect_results, accumulated, new)
 
     def _route_to_join(self, released: List[StreamTuple]) -> Union[List[JoinResult], int]:
-        outputs = empty_outputs(self.config.collect_results)
-        for t in released:
-            emitted = self.synchronizer.process(t)
-            outputs = self._merge(outputs, self._feed_join(emitted))
-        return outputs
+        # One synchronizer burst + one join feed: identical to routing
+        # tuple-by-tuple (the app-time clock cannot advance in between),
+        # without the per-tuple dispatch overhead.
+        if not released:
+            return empty_outputs(self.config.collect_results)
+        return self._feed_join(self.synchronizer.process_batch(released))
 
     def _feed_join(self, emitted: List[StreamTuple]) -> Union[List[JoinResult], int]:
-        outputs = empty_outputs(self.config.collect_results)
+        collect = self.config.collect_results
         app_now = self.app_time_ms()
+        metrics = self.metrics
+        join_process = self.join.process
+        record_produced = self.monitor.record_produced
+        on_results = self._on_results
+        if collect:
+            outputs: Union[List[JoinResult], int] = []
+            extend = outputs.extend
+        else:
+            outputs = 0
         for t in emitted:
             if t.arrival >= 0:
                 waited = app_now - t.arrival
                 if waited > 0:
-                    self.metrics.latency_sum_ms += waited
-                    self.metrics.latency_max_ms = max(
-                        self.metrics.latency_max_ms, waited
-                    )
-                self.metrics.latency_count += 1
-            produced = self.join.process(t)
-            count = len(produced) if self.config.collect_results else produced
+                    metrics.latency_sum_ms += waited
+                    if waited > metrics.latency_max_ms:
+                        metrics.latency_max_ms = waited
+                metrics.latency_count += 1
+            produced = join_process(t)
+            count = len(produced) if collect else produced
             if count:
-                self.metrics.results_produced += count
-                self.monitor.record_produced(t.ts, count)
-                if self._on_results is not None:
-                    self._on_results(t.ts, count)
-            outputs = self._merge(outputs, produced)
+                metrics.results_produced += count
+                record_produced(t.ts, count)
+                if on_results is not None:
+                    on_results(t.ts, count)
+            if collect:
+                extend(produced)
+            else:
+                outputs += produced
         return outputs
 
     def _apply_k(self, k_ms: int) -> List[StreamTuple]:

@@ -37,6 +37,7 @@ class ResultSorter:
         self._tie = 0
         self._max_seen = 0
         self._emitted_watermark = -1
+        self._flushed = False
         self.emitted = 0
         self.discarded = 0
 
@@ -48,6 +49,12 @@ class ResultSorter:
     def buffered(self) -> int:
         return len(self._heap)
 
+    @property
+    def flushed(self) -> bool:
+        """True once :meth:`flush` ran; :meth:`process` then raises and
+        further :meth:`flush` calls return empty."""
+        return self._flushed
+
     def process(self, result: JoinResult) -> List[JoinResult]:
         """Accept one (possibly out-of-order) result; return releases.
 
@@ -55,6 +62,10 @@ class ResultSorter:
         cannot be re-ordered by any future release and is discarded to
         preserve the in-order output contract.
         """
+        if self._flushed:
+            raise RuntimeError(
+                "result sorter already flushed; create a new instance"
+            )
         if result.ts < self._emitted_watermark:
             self.discarded += 1
             return []
@@ -75,7 +86,18 @@ class ResultSorter:
         return released
 
     def flush(self) -> List[JoinResult]:
-        """Release everything still buffered, in timestamp order."""
+        """Release everything still buffered, in timestamp order.
+
+        Flushing is terminal: the release clock (``_max_seen``) and the
+        emission watermark stop at their end-of-stream values, so a
+        sorter reused after flush would silently mix pre- and post-flush
+        ordering contracts — :meth:`process` raises instead (mirroring
+        :class:`~repro.core.pipeline.QualityDrivenPipeline`).  Re-flushing
+        is an idempotent no-op.
+        """
+        if self._flushed:
+            return []
+        self._flushed = True
         released = [entry[2] for entry in sorted(self._heap)]
         self._heap.clear()
         if released:

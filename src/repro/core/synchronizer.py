@@ -26,7 +26,7 @@ input.  Both preserve the ordering invariants.
 from __future__ import annotations
 
 import heapq
-from typing import List
+from typing import List, Sequence
 
 from .tuples import StreamTuple
 
@@ -44,6 +44,10 @@ class Synchronizer:
         self._counts = [0] * num_streams
         self._closed = [False] * num_streams
         self._buffered_total = 0
+        # Number of *open* streams with an empty buffer — the streams
+        # gating emission.  Maintained incrementally so the drain loop's
+        # completeness check is O(1) instead of an all-streams scan.
+        self._gating = num_streams
 
     # ------------------------------------------------------------------
     # properties
@@ -82,12 +86,45 @@ class Synchronizer:
         self._push(t)
         return self._drain_while_complete()
 
+    def process_batch(self, batch: Sequence[StreamTuple]) -> List[StreamTuple]:
+        """Accept a burst of K-slack output tuples; return tuples emitted.
+
+        Exactly equivalent to concatenating per-tuple :meth:`process`
+        returns — the loop only hoists the straggler fast path and the
+        emission accumulator out of the per-tuple call overhead.
+        """
+        emitted: List[StreamTuple] = []
+        append = emitted.append
+        extend = emitted.extend
+        num_streams = self.num_streams
+        for t in batch:
+            if not 0 <= t.stream < num_streams:
+                raise ValueError(
+                    f"tuple stream index {t.stream} outside [0, {num_streams})"
+                )
+            if t.ts <= self._t_sync:
+                append(t)
+                continue
+            self._push(t)
+            extend(self._drain_while_complete())
+        return emitted
+
     def close_stream(self, stream: int) -> List[StreamTuple]:
         """Mark ``stream`` as ended; it stops gating emission.
 
         Returns any tuples that become emittable because of the closure.
+        Closing an already-closed stream is a no-op (returns no tuples):
+        the closure cannot unlock anything a previous drain did not.
         """
+        if not 0 <= stream < self.num_streams:
+            raise ValueError(
+                f"stream index {stream} outside [0, {self.num_streams})"
+            )
+        if self._closed[stream]:
+            return []
         self._closed[stream] = True
+        if self._counts[stream] == 0:
+            self._gating -= 1
         return self._drain_while_complete()
 
     def flush(self) -> List[StreamTuple]:
@@ -95,8 +132,7 @@ class Synchronizer:
         emitted: List[StreamTuple] = []
         while self._heap:
             ts, _, t = heapq.heappop(self._heap)
-            self._counts[t.stream] -= 1
-            self._buffered_total -= 1
+            self._pop_count(t.stream)
             if ts > self._t_sync:
                 self._t_sync = ts
             emitted.append(t)
@@ -109,23 +145,31 @@ class Synchronizer:
     def _push(self, t: StreamTuple) -> None:
         heapq.heappush(self._heap, (t.ts, self._tie, t))
         self._tie += 1
-        self._counts[t.stream] += 1
+        stream = t.stream
+        self._counts[stream] += 1
         self._buffered_total += 1
+        if self._counts[stream] == 1 and not self._closed[stream]:
+            self._gating -= 1
 
-    def _complete(self) -> bool:
-        """True when the buffer holds >= 1 tuple of every open stream."""
-        return all(
-            self._counts[i] > 0 or self._closed[i] for i in range(self.num_streams)
-        )
+    def _pop_count(self, stream: int) -> None:
+        self._counts[stream] -= 1
+        self._buffered_total -= 1
+        if self._counts[stream] == 0 and not self._closed[stream]:
+            self._gating += 1
 
     def _drain_while_complete(self) -> List[StreamTuple]:
+        heap = self._heap
+        if not heap or self._gating:
+            return []
         emitted: List[StreamTuple] = []
-        while self._heap and self._complete():
-            min_ts = self._heap[0][0]
-            self._t_sync = max(self._t_sync, min_ts)
-            while self._heap and self._heap[0][0] == min_ts:
-                _, _, t = heapq.heappop(self._heap)
-                self._counts[t.stream] -= 1
-                self._buffered_total -= 1
-                emitted.append(t)
+        append = emitted.append
+        pop = heapq.heappop
+        while heap and not self._gating:
+            min_ts = heap[0][0]
+            if min_ts > self._t_sync:
+                self._t_sync = min_ts
+            while heap and heap[0][0] == min_ts:
+                _, _, t = pop(heap)
+                self._pop_count(t.stream)
+                append(t)
         return emitted

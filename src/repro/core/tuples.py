@@ -105,6 +105,16 @@ class StreamTuple:
     def get(self, attribute: str, default: Any = None) -> Any:
         return self.values.get(attribute, default)
 
+    # Compact pickling: tuples cross process boundaries in bulk on the
+    # partitioned pipeline's IPC path, and the default slotted-object
+    # protocol (a per-object {slot: value} state dict) is measurably
+    # slower than a bare state tuple on both ends of the pipe.
+    def __getstate__(self) -> Tuple:
+        return (self.ts, self.values, self.stream, self.seq, self.arrival, self.delay)
+
+    def __setstate__(self, state: Tuple) -> None:
+        self.ts, self.values, self.stream, self.seq, self.arrival, self.delay = state
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         payload = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
         return f"StreamTuple(ts={self.ts}, stream={self.stream}, {{{payload}}})"

@@ -28,7 +28,7 @@ predicate as soon as all streams it references are bound.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.tuples import JoinResult, StreamTuple
 from .conditions import JoinCondition
@@ -38,6 +38,33 @@ from .window import SlidingWindow
 #: ``callback(tuple, n_cross, n_on, in_order)``; counts are None when the
 #: tuple was out of order (no probe happened).
 ProductivityCallback = Callable[[StreamTuple, Optional[int], Optional[int], bool], None]
+
+
+class ProbePlan:
+    """A cached probe plan: everything about a probe that is fixed once the
+    probe order is chosen.
+
+    The per-depth closed-predicate lists and the chosen index lookups
+    depend only on the trigger stream, the order, the (immutable) join
+    condition, and which window indexes exist (fixed at operator
+    construction) — not on window *content*.  Rebuilding them per tuple is
+    pure allocation churn on the hottest path, so the operator caches one
+    plan per ``(trigger stream, order)`` and only builds a new one when
+    the :class:`~repro.join.ordering.ProbeOrderPolicy` actually changes
+    the order (cardinality drift).
+    """
+
+    __slots__ = ("order", "closed_per_depth", "lookup_per_depth")
+
+    def __init__(
+        self,
+        order: Tuple[int, ...],
+        closed_per_depth: List[list],
+        lookup_per_depth: List[Optional[Tuple[str, int, str]]],
+    ) -> None:
+        self.order = order
+        self.closed_per_depth = closed_per_depth
+        self.lookup_per_depth = lookup_per_depth
 
 
 class JoinStatistics:
@@ -122,6 +149,12 @@ class MSWJOperator:
         self._probe_out_of_order = probe_out_of_order
         self.on_t = 0  # the operator's high-water mark ``onT``
         self.stats = JoinStatistics()
+        # One plan dict per trigger stream, keyed by the order tuple the
+        # policy returned; see ProbePlan.  Orders cycle among a handful of
+        # permutations, so the dicts stay tiny.
+        self._plans: List[Dict[Tuple[int, ...], ProbePlan]] = [
+            {} for _ in range(self.num_streams)
+        ]
 
     # ------------------------------------------------------------------
     # Alg. 2 main loop
@@ -148,6 +181,74 @@ class MSWJOperator:
                 self._callback(t, None, None, False)
         return results
 
+    def process_batch(
+        self, batch: Sequence[StreamTuple]
+    ) -> Union[List[JoinResult], int]:
+        """Process a burst of synchronized tuples in sequence.
+
+        Exactly equivalent to concatenating per-tuple :meth:`process`
+        outputs — the batched loop only amortizes the per-tuple driver
+        overhead (attribute lookups, branch dispatch, window-expiration
+        heap peeks) over the burst.
+        """
+        collect = self._collect_results
+        windows = self.windows
+        sizes = self.window_sizes_ms
+        num_streams = self.num_streams
+        stats = self.stats
+        callback = self._callback
+        probe_ooo = self._probe_out_of_order
+        if collect:
+            outputs: Union[List[JoinResult], int] = []
+            extend = outputs.extend
+        else:
+            outputs = 0
+        for t in batch:
+            i = t.stream
+            if not 0 <= i < num_streams:
+                raise ValueError(
+                    f"tuple stream index {i} outside [0, {num_streams})"
+                )
+            ts = t.ts
+            if ts >= self.on_t:
+                self.on_t = ts
+                stats.tuples_in_order += 1
+                n_cross = 1
+                for j in range(num_streams):
+                    if j == i:
+                        continue
+                    window = windows[j]
+                    heap = window._heap
+                    if heap and heap[0][0] < ts - sizes[j]:
+                        window.expire_before(ts - sizes[j])
+                    n_cross *= len(window._slots)
+                results = self._probe(t)
+                n_on = len(results) if collect else results
+                stats.results_produced += n_on
+                stats.probes += 1
+                windows[i].insert(t)
+                if callback is not None:
+                    callback(t, n_cross, n_on, True)
+                if collect:
+                    extend(results)
+                else:
+                    outputs += results
+            else:
+                if ts > self.on_t - sizes[i]:
+                    if probe_ooo:
+                        late = self._probe_late(t)
+                        if collect:
+                            extend(late)
+                        else:
+                            outputs += len(late)
+                    windows[i].insert(t)
+                    stats.tuples_out_of_order_kept += 1
+                else:
+                    stats.tuples_dropped += 1
+                if callback is not None:
+                    callback(t, None, None, False)
+        return outputs
+
     def _process_in_order(self, t: StreamTuple) -> Union[List[JoinResult], int]:
         i = t.stream
         self.on_t = t.ts
@@ -156,8 +257,12 @@ class MSWJOperator:
         for j in range(self.num_streams):
             if j == i:
                 continue
-            self.windows[j].expire_before(t.ts - self.window_sizes_ms[j])
-            n_cross *= self.windows[j].cardinality
+            window = self.windows[j]
+            bound = t.ts - self.window_sizes_ms[j]
+            heap = window._heap
+            if heap and heap[0][0] < bound:
+                window.expire_before(bound)
+            n_cross *= len(window._slots)
         results = self._probe(t)
         n_on = len(results) if self._collect_results else results
         self.stats.results_produced += n_on
@@ -181,23 +286,11 @@ class MSWJOperator:
         against all already-bound tuples.  Result timestamps are the
         maximum component timestamp (which may exceed the trigger's).
         """
-        order = self._policy.order(trigger.stream, self.windows, self.condition)
+        plan = self._plan_for(trigger.stream)
         bound: Dict[int, StreamTuple] = {trigger.stream: trigger}
         results: List[JoinResult] = []
-        bound_set = frozenset({trigger.stream})
-        closed_per_depth = []
-        lookup_per_depth = []
-        for j in order:
-            closed_per_depth.append(self.condition.predicates_closed_by(j, bound_set))
-            lookups = [
-                lk
-                for lk in self.condition.equi_lookups(j, bound_set)
-                if self.windows[j].has_index(lk[0])
-            ]
-            lookup_per_depth.append(lookups[0] if lookups else None)
-            bound_set = bound_set | {j}
         self._probe_late_depth(
-            0, order, bound, closed_per_depth, lookup_per_depth, results
+            0, plan.order, bound, plan.closed_per_depth, plan.lookup_per_depth, results
         )
         self.stats.results_produced += len(results)
         self.stats.probes += 1
@@ -252,33 +345,60 @@ class MSWJOperator:
     # probing
     # ------------------------------------------------------------------
 
+    def _plan_for(self, trigger_stream: int) -> ProbePlan:
+        """The probe plan for the policy's current order (cached).
+
+        The policy is consulted every trigger (orders shift with window
+        cardinalities), but the per-depth closed-predicate lists and index
+        lookups are only rebuilt when the returned order is one the cache
+        has not seen for this trigger stream.
+        """
+        order = tuple(
+            self._policy.order(trigger_stream, self.windows, self.condition)
+        )
+        plans = self._plans[trigger_stream]
+        plan = plans.get(order)
+        if plan is None:
+            # Per depth: the predicates that close and the best available
+            # index lookup; the bound-stream set at each depth is fixed
+            # once the order is chosen.
+            bound_set = frozenset({trigger_stream})
+            closed_per_depth = []
+            lookup_per_depth = []
+            for j in order:
+                closed_per_depth.append(
+                    self.condition.predicates_closed_by(j, bound_set)
+                )
+                lookups = [
+                    lk
+                    for lk in self.condition.equi_lookups(j, bound_set)
+                    if self.windows[j].has_index(lk[0])
+                ]
+                lookup_per_depth.append(lookups[0] if lookups else None)
+                bound_set = bound_set | {j}
+            plan = ProbePlan(order, closed_per_depth, lookup_per_depth)
+            plans[order] = plan
+        return plan
+
     def _probe(self, trigger: StreamTuple) -> Union[List[JoinResult], int]:
         """Bind the remaining streams depth-first and collect matches."""
-        order = self._policy.order(trigger.stream, self.windows, self.condition)
+        plan = self._plan_for(trigger.stream)
         # Short-circuit: any empty window means no results.
-        if any(self.windows[j].cardinality == 0 for j in order):
-            return [] if self._collect_results else 0
-
-        # Pre-compute, per depth, the predicates that close and the best
-        # available index lookup; the bound-stream set at each depth is
-        # fixed once the order is chosen.
-        bound_set = frozenset({trigger.stream})
-        closed_per_depth = []
-        lookup_per_depth = []
-        for j in order:
-            closed_per_depth.append(self.condition.predicates_closed_by(j, bound_set))
-            lookups = [
-                lk
-                for lk in self.condition.equi_lookups(j, bound_set)
-                if self.windows[j].has_index(lk[0])
-            ]
-            lookup_per_depth.append(lookups[0] if lookups else None)
-            bound_set = bound_set | {j}
+        windows = self.windows
+        for j in plan.order:
+            if not windows[j]._slots:
+                return [] if self._collect_results else 0
 
         bound: Dict[int, StreamTuple] = {trigger.stream: trigger}
         collected: List[JoinResult] = []
         count = self._probe_depth(
-            0, order, bound, closed_per_depth, lookup_per_depth, trigger.ts, collected
+            0,
+            plan.order,
+            bound,
+            plan.closed_per_depth,
+            plan.lookup_per_depth,
+            trigger.ts,
+            collected,
         )
         return collected if self._collect_results else count
 

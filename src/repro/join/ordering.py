@@ -21,7 +21,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List, Sequence
 
-from .conditions import JoinCondition
+from .conditions import EquiPredicate, JoinCondition
 from .window import SlidingWindow
 
 
@@ -60,7 +60,28 @@ class IndexAwareOrder(ProbeOrderPolicy):
     a bound stream if any such stream exists, and (b) has the smallest
     window among the candidates.  Streams not connected by any equality
     predicate are appended last (they require scans anyway).
+
+    The equi-connectivity graph is static per condition, so it is derived
+    once and memoized — ``order`` runs on every probe trigger, and
+    re-deriving connectivity through ``condition.equi_lookups`` there is
+    pure allocation churn.
     """
+
+    def __init__(self) -> None:
+        self._condition: JoinCondition = None  # memo key for _adjacency
+        self._adjacency: dict = {}
+
+    def _adjacency_of(self, condition: JoinCondition) -> dict:
+        if condition is not self._condition:
+            adjacency: dict = {}
+            for predicate in condition.predicates:
+                if isinstance(predicate, EquiPredicate):
+                    left, right = predicate.left_stream, predicate.right_stream
+                    adjacency.setdefault(left, set()).add(right)
+                    adjacency.setdefault(right, set()).add(left)
+            self._adjacency = adjacency
+            self._condition = condition
+        return self._adjacency
 
     def order(
         self,
@@ -68,18 +89,34 @@ class IndexAwareOrder(ProbeOrderPolicy):
         windows: Sequence[SlidingWindow],
         condition: JoinCondition,
     ) -> List[int]:
-        remaining = {i for i in range(len(windows)) if i != trigger_stream}
-        bound = frozenset({trigger_stream})
+        adjacency = self._adjacency_of(condition)
+        get_adjacent = adjacency.get
+        remaining = [i for i in range(len(windows)) if i != trigger_stream]
+        bound = {trigger_stream}
         ordered: List[int] = []
         while remaining:
-            connected = [
-                i for i in remaining if condition.equi_lookups(i, bound)
-            ]
-            pool = connected if connected else sorted(remaining)
-            best = min(pool, key=lambda i: (windows[i].cardinality, i))
+            # Two-pass argmin by (cardinality, index): connected streams
+            # first, the rest only when nothing connects.  Equivalent to
+            # min() over the filtered pool, without per-step list/lambda
+            # allocations — this runs on every probe trigger.
+            best = -1
+            best_card = -1
+            for i in remaining:
+                adjacent = get_adjacent(i)
+                if adjacent is not None and not adjacent.isdisjoint(bound):
+                    card = windows[i].cardinality
+                    if best < 0 or card < best_card:
+                        best = i
+                        best_card = card
+            if best < 0:
+                for i in remaining:
+                    card = windows[i].cardinality
+                    if best < 0 or card < best_card:
+                        best = i
+                        best_card = card
             ordered.append(best)
-            remaining.discard(best)
-            bound = bound | {best}
+            remaining.remove(best)
+            bound.add(best)
         return ordered
 
 

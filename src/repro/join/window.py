@@ -15,12 +15,17 @@ arrival, so expiration uses a min-heap on ``ts`` with lazy deletion: the
 heap may hold stale entries for already-removed tuples; they are skipped
 when popped.  All live tuples are kept in a dict keyed by an increasing
 slot id to give O(1) removal and stable iteration.
+
+Representation contract: the MSWJ operator's hot paths
+(:mod:`repro.join.mswj`) peek at ``_heap[0]`` to skip no-op expiration
+calls and read ``_slots`` for cardinality — changing either field's
+meaning requires updating those call sites.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.tuples import StreamTuple
 
@@ -108,7 +113,7 @@ class SlidingWindow:
     def has_index(self, attr: str) -> bool:
         return attr in self._indexes
 
-    def lookup(self, attr: str, value: object) -> List[StreamTuple]:
+    def lookup(self, attr: str, value: object) -> Iterable[StreamTuple]:
         """Tuples whose ``attr`` equals ``value`` (requires an index on attr).
 
         Candidates come back in slot-id (= insertion) order — probe order
@@ -116,14 +121,20 @@ class SlidingWindow:
         is what makes two identical runs produce identical result
         *sequences* (not just sets).  The order falls out of the
         insertion-ordered buckets; no per-probe sort.
+
+        Returns a lazy single-pass iterable over the bucket (no list
+        materialization on the probe hot path).  The window must not be
+        mutated while it is being consumed — the probe loop guarantees
+        that: expiration happens before the probe and the trigger is
+        inserted after it.
         """
         index = self._indexes.get(attr)
         if index is None:
             raise KeyError(f"no index maintained on attribute {attr!r}")
         slots = index.get(value)
         if not slots:
-            return []
-        return [self._slots[slot] for slot in slots]
+            return ()
+        return map(self._slots.__getitem__, slots)
 
     def min_ts(self) -> Optional[int]:
         """Smallest live timestamp (None when empty); compacts stale heap heads."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import multiprocessing
 from abc import ABC, abstractmethod
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..core.pipeline import PipelineConfig, QualityDrivenPipeline
 from ..core.tuples import StreamTuple
@@ -29,6 +29,7 @@ from .shard import (
     Outputs,
     ShardOutcome,
     empty_outputs,
+    merge_outputs,
     shard_worker,
 )
 
@@ -60,6 +61,19 @@ class ShardExecutor(ABC):
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
         """Feed one tuple to ``shard``; return results available now."""
 
+    def submit_batch(self, shard: int, batch: Sequence[StreamTuple]) -> Outputs:
+        """Feed a routed batch to ``shard``; return results available now.
+
+        Equivalent to submitting each tuple in sequence; executors
+        override this to amortize per-tuple dispatch (one in-process
+        batched call, or one pipe send per accumulated IPC batch).
+        """
+        collect = self.config.collect_results
+        outputs = empty_outputs(collect)
+        for t in batch:
+            outputs = merge_outputs(collect, outputs, self.submit(shard, t))
+        return outputs
+
     @abstractmethod
     def finish(self) -> List[ShardOutcome]:
         """Flush every shard; return per-shard outcomes (call once)."""
@@ -84,9 +98,17 @@ class SerialExecutor(ShardExecutor):
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
         return self.pipelines[shard].process(t)
 
+    def submit_batch(self, shard: int, batch: Sequence[StreamTuple]) -> Outputs:
+        return self.pipelines[shard].process_batch(batch)
+
     def finish(self) -> List[ShardOutcome]:
         return [
-            ShardOutcome(shard, pipeline.flush(), pipeline.metrics)
+            ShardOutcome(
+                shard,
+                pipeline.flush(),
+                pipeline.metrics,
+                pipeline.join.stats.as_dict(),
+            )
             for shard, pipeline in enumerate(self.pipelines)
         ]
 
@@ -139,6 +161,26 @@ class MultiprocessingExecutor(ShardExecutor):
         if len(batch) >= self.batch_size:
             self._send(shard, (MSG_BATCH, batch))
             self._batches[shard] = []
+        return empty_outputs(self.config.collect_results)
+
+    def submit_batch(self, shard: int, batch: Sequence[StreamTuple]) -> Outputs:
+        """Queue a whole routed batch with one extend per call.
+
+        The pending buffer is drained in ``batch_size`` slices — the same
+        pipe-message cadence and parent-side buffering bound as per-tuple
+        submission, reached without the per-tuple method dispatch.
+        """
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        pending = self._batches[shard]
+        pending.extend(batch)
+        if len(pending) >= self.batch_size:
+            size = self.batch_size
+            start = 0
+            while len(pending) - start >= size:
+                self._send(shard, (MSG_BATCH, pending[start : start + size]))
+                start += size
+            self._batches[shard] = pending[start:]
         return empty_outputs(self.config.collect_results)
 
     def _send(self, shard: int, message) -> None:

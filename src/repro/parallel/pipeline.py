@@ -37,7 +37,7 @@ executor makes available immediately) and :meth:`PartitionedPipeline.flush`
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.pipeline import PipelineConfig, PipelineMetrics
 from ..core.tuples import JoinResult, StreamTuple
@@ -137,6 +137,30 @@ class PartitionedPipeline:
             "only travel back on a successful flush()"
         )
 
+    def join_statistics(self) -> Dict[str, int]:
+        """Summed MSWJ counters across shards (see ``JoinStatistics``).
+
+        Live for the serial executor; for the process executor available
+        only after :meth:`flush` (counters ride back with the
+        :class:`~repro.parallel.shard.ShardOutcome`).
+        """
+        if self._outcomes is not None:
+            stats_dicts = [o.join_stats for o in self._outcomes]
+        elif isinstance(self.executor, SerialExecutor):
+            stats_dicts = [
+                p.join.stats.as_dict() for p in self.executor.pipelines
+            ]
+        else:
+            raise RuntimeError(
+                "shard join statistics unavailable: under the process "
+                "executor they only travel back on a successful flush()"
+            )
+        merged: Dict[str, int] = {}
+        for stats in stats_dicts:
+            for name, value in stats.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
     # ------------------------------------------------------------------
     # streaming interface (mirrors QualityDrivenPipeline)
     # ------------------------------------------------------------------
@@ -150,6 +174,45 @@ class PartitionedPipeline:
         for shard in self.router.route(t):
             produced = self.executor.submit(shard, t)
             if shard in self._emit_shards:
+                outputs = merge_outputs(collect, outputs, produced)
+        return outputs
+
+    def process_batch(self, batch: Sequence[StreamTuple]) -> Outputs:
+        """Feed a burst of raw tuples; return results made available now.
+
+        Routes the whole burst up front, then dispatches **one** batch
+        per shard per call (in shard order) instead of one envelope per
+        tuple.  Each shard still sees its sub-stream in arrival order, so
+        every shard's internal result sequence — and therefore the result
+        multiset and the ts-ordered :meth:`flush` sequence — is identical
+        to per-tuple feeding.  Only the interleaving of *immediately
+        returned* results across shards differs: within one call they
+        come back grouped by shard rather than by arrival (the serial
+        executor returns them here; the process executor defers
+        everything to :meth:`flush` regardless).
+        """
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        collect = self.config.collect_results
+        if self.router.exact:
+            per_shard: List[Sequence[StreamTuple]] = [
+                [] for _ in range(self.num_shards)
+            ]
+            shard_of = self.router.shard_of
+            for t in batch:
+                per_shard[shard_of(t)].append(t)
+        else:
+            # Broadcast: every shard consumes the same (read-only) burst;
+            # no per-shard copies.
+            per_shard = [batch] * self.num_shards
+        outputs = empty_outputs(collect)
+        submit_batch = self.executor.submit_batch
+        emit_shards = self._emit_shards
+        for shard, shard_batch in enumerate(per_shard):
+            if not shard_batch:
+                continue
+            produced = submit_batch(shard, shard_batch)
+            if shard in emit_shards:
                 outputs = merge_outputs(collect, outputs, produced)
         return outputs
 
@@ -203,6 +266,7 @@ def run_partitioned(
     num_shards: int,
     executor: ExecutorSpec = "serial",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    chunk_size: Optional[int] = None,
 ) -> tuple:
     """Replay a finite dataset through a :class:`PartitionedPipeline`.
 
@@ -210,13 +274,34 @@ def run_partitioned(
     :meth:`~PartitionedPipeline.process` return plus the final
     :meth:`~PartitionedPipeline.flush` — the full result multiset under
     either executor.
+
+    ``chunk_size=None`` drives the pipeline tuple-at-a-time
+    (:meth:`~PartitionedPipeline.process`); a positive ``chunk_size``
+    slices the arrival stream into bursts of that many tuples and drives
+    the batched engine (:meth:`~PartitionedPipeline.process_batch`).
     """
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     with PartitionedPipeline(
         config, num_shards, executor=executor, batch_size=batch_size
     ) as pipeline:
         collect = config.collect_results
         outputs = empty_outputs(collect)
-        for t in dataset.arrivals():
-            outputs = merge_outputs(collect, outputs, pipeline.process(t))
+        if chunk_size is None:
+            for t in dataset.arrivals():
+                outputs = merge_outputs(collect, outputs, pipeline.process(t))
+        else:
+            chunk: List[StreamTuple] = []
+            for t in dataset.arrivals():
+                chunk.append(t)
+                if len(chunk) >= chunk_size:
+                    outputs = merge_outputs(
+                        collect, outputs, pipeline.process_batch(chunk)
+                    )
+                    chunk = []
+            if chunk:
+                outputs = merge_outputs(
+                    collect, outputs, pipeline.process_batch(chunk)
+                )
         outputs = merge_outputs(collect, outputs, pipeline.flush())
         return outputs, pipeline.metrics

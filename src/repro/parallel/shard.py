@@ -17,7 +17,8 @@ and are re-exported here for the rest of the parallel layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
 
 from ..core.pipeline import (
     Outputs,
@@ -36,6 +37,9 @@ class ShardOutcome:
     shard: int
     outputs: Outputs
     metrics: PipelineMetrics
+    #: The shard's MSWJ counters (tuples in/out of order, probes, ...);
+    #: see :class:`~repro.join.mswj.JoinStatistics.as_dict`.
+    join_stats: Dict[str, int] = field(default_factory=dict)
 
 
 # Message tags of the executor ↔ worker protocol.
@@ -68,10 +72,18 @@ def shard_worker(conn, shard: int, config: PipelineConfig) -> None:
                 return
             if tag == MSG_FLUSH:
                 break
-            for t in payload:
-                outputs = merge_outputs(collect, outputs, pipeline.process(t))
+            # Each IPC batch drains through the batched engine; identical
+            # to a per-tuple loop, minus the per-tuple driver overhead.
+            outputs = merge_outputs(collect, outputs, pipeline.process_batch(payload))
         outputs = merge_outputs(collect, outputs, pipeline.flush())
-        conn.send(("ok", ShardOutcome(shard, outputs, pipeline.metrics)))
+        conn.send(
+            (
+                "ok",
+                ShardOutcome(
+                    shard, outputs, pipeline.metrics, pipeline.join.stats.as_dict()
+                ),
+            )
+        )
     except Exception as exc:  # surfaced by the parent as a RuntimeError
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))

@@ -1,0 +1,382 @@
+"""Determinism suite for the batched, plan-cached execution engine.
+
+The load-bearing contract of `process_batch` at every layer — operator,
+single pipeline, partitioned pipeline — is **exact equivalence** with
+per-tuple processing: the same disordered workload must produce the
+*identical result sequence* (not just set or multiset) and identical
+`JoinStatistics` / `PipelineMetrics` counters, because batching is a pure
+driver optimization, never a semantic change.  The probe-plan cache gets
+the same treatment: clearing it between tuples (forcing a rebuild every
+trigger, i.e. the pre-cache behaviour) must not change a single result.
+"""
+
+import pytest
+
+from repro import (
+    BandPredicate,
+    EquiPredicate,
+    FixedKPolicy,
+    JoinCondition,
+    MaxKSlackPolicy,
+    MSWJOperator,
+    PipelineConfig,
+    QualityDrivenPipeline,
+    StreamTuple,
+    equi_join_chain,
+    make_d3_syn,
+    run_partitioned,
+    seconds,
+)
+
+CONDITION = equi_join_chain("a1", 3)
+
+
+def _dataset(duration_s=10, seed=7):
+    return make_d3_syn(
+        duration_ms=seconds(duration_s), seed=seed, inter_arrival_ms=50
+    )
+
+
+def _config(dataset, policy=None, collect=True, gamma=0.95, adaptive=False):
+    """Fixed-K by default; ``adaptive=True`` leaves ``policy=None`` so the
+    pipeline runs the paper's ModelBasedPolicy adaptation loop."""
+    k = dataset.max_delay()
+    if adaptive:
+        policy, initial_k = None, 0
+    elif policy is None:
+        policy, initial_k = FixedKPolicy(k), k
+    else:
+        initial_k = 0
+    return PipelineConfig(
+        window_sizes_ms=[seconds(2)] * 3,
+        condition=CONDITION,
+        gamma=gamma,
+        period_ms=seconds(10),
+        interval_ms=seconds(1),
+        policy=policy,
+        initial_k_ms=initial_k,
+        collect_results=collect,
+    )
+
+
+def _sequence(results):
+    return [(r.ts, r.key()) for r in results]
+
+
+def _chunks(items, size):
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+# ----------------------------------------------------------------------
+# operator level
+# ----------------------------------------------------------------------
+
+
+def _mswj_workload(seed=3):
+    """A synchronized-ish stream with genuine disorder: in-order runs,
+    keepable out-of-order tuples, and droppable stragglers."""
+    import random
+
+    rng = random.Random(seed)
+    tuples = []
+    ts = 0
+    for seq in range(400):
+        ts += rng.randint(0, 120)
+        jitter = rng.choice((0, 0, 0, -150, -80, -2_500))
+        t_ts = max(0, ts + jitter)
+        tuples.append(
+            StreamTuple(
+                ts=t_ts,
+                values={"a1": rng.randint(1, 12), "v": rng.randint(0, 40)},
+                stream=seq % 3,
+                seq=seq,
+            )
+        )
+    return tuples
+
+
+class TestOperatorBatched:
+    @pytest.mark.parametrize(
+        "condition",
+        [
+            CONDITION,
+            JoinCondition(
+                [EquiPredicate(0, "a1", 1, "a1"), BandPredicate(1, "v", 2, "v", 10.0)]
+            ),
+        ],
+        ids=["equi-chain", "equi+band"],
+    )
+    def test_batch_matches_per_tuple_results_and_stats(self, condition):
+        workload = _mswj_workload()
+        per_tuple = MSWJOperator([1_000, 1_000, 1_000], condition)
+        expected = []
+        for t in workload:
+            expected.extend(per_tuple.process(t))
+        batched = MSWJOperator([1_000, 1_000, 1_000], condition)
+        got = batched.process_batch(workload)
+        assert _sequence(got) == _sequence(expected)
+        assert batched.stats.as_dict() == per_tuple.stats.as_dict()
+        assert batched.on_t == per_tuple.on_t
+        assert batched.window_cardinalities() == per_tuple.window_cardinalities()
+
+    def test_count_only_mode_matches(self):
+        workload = _mswj_workload(seed=5)
+        per_tuple = MSWJOperator([1_000] * 3, CONDITION, collect_results=False)
+        expected = sum(per_tuple.process(t) for t in workload)
+        batched = MSWJOperator([1_000] * 3, CONDITION, collect_results=False)
+        assert batched.process_batch(workload) == expected
+        assert batched.stats.as_dict() == per_tuple.stats.as_dict()
+
+    def test_probe_out_of_order_mode_matches(self):
+        workload = _mswj_workload(seed=9)
+        per_tuple = MSWJOperator([1_000] * 3, CONDITION, probe_out_of_order=True)
+        expected = []
+        for t in workload:
+            expected.extend(per_tuple.process(t))
+        batched = MSWJOperator([1_000] * 3, CONDITION, probe_out_of_order=True)
+        got = batched.process_batch(workload)
+        assert _sequence(got) == _sequence(expected)
+        assert batched.stats.as_dict() == per_tuple.stats.as_dict()
+
+    def test_batch_rejects_bad_stream_index(self):
+        op = MSWJOperator([1_000] * 3, CONDITION)
+        with pytest.raises(ValueError):
+            op.process_batch([StreamTuple(ts=1, stream=7)])
+
+    def test_productivity_callback_sequence_identical(self):
+        workload = _mswj_workload(seed=11)
+        calls = []
+
+        def record(kind):
+            def callback(t, n_cross, n_on, in_order):
+                calls.append((kind, t.seq, n_cross, n_on, in_order))
+
+            return callback
+
+        per_tuple = MSWJOperator(
+            [1_000] * 3, CONDITION, productivity_callback=record("per-tuple")
+        )
+        for t in workload:
+            per_tuple.process(t)
+        batched = MSWJOperator(
+            [1_000] * 3, CONDITION, productivity_callback=record("batched")
+        )
+        batched.process_batch(workload)
+        per_tuple_calls = [c[1:] for c in calls if c[0] == "per-tuple"]
+        batched_calls = [c[1:] for c in calls if c[0] == "batched"]
+        assert batched_calls == per_tuple_calls
+
+
+class TestPlanCache:
+    def test_cache_populates_and_reuses_plans(self):
+        op = MSWJOperator([1_000] * 3, CONDITION)
+        for t in _mswj_workload():
+            op.process(t)
+        cached_orders = [set(plans) for plans in op._plans]
+        assert any(cached_orders)  # plans were built
+        # Far fewer distinct plans than probes: the cache actually reuses.
+        assert sum(len(p) for p in op._plans) < op.stats.probes
+
+    def test_clearing_cache_every_tuple_changes_nothing(self):
+        # Forcing a plan rebuild per trigger (the pre-cache behaviour)
+        # must be invisible in the output — the plan depends only on the
+        # trigger stream and the policy's order.
+        workload = _mswj_workload(seed=13)
+        cached = MSWJOperator([1_000] * 3, CONDITION)
+        uncached = MSWJOperator([1_000] * 3, CONDITION)
+        seq_cached = []
+        seq_uncached = []
+        for t in workload:
+            seq_cached.extend(cached.process(t))
+            for plans in uncached._plans:
+                plans.clear()
+            seq_uncached.extend(uncached.process(t))
+        assert _sequence(seq_cached) == _sequence(seq_uncached)
+        assert cached.stats.as_dict() == uncached.stats.as_dict()
+
+
+# ----------------------------------------------------------------------
+# single-pipeline level
+# ----------------------------------------------------------------------
+
+
+class TestPipelineBatched:
+    def _per_tuple_run(self, dataset, config):
+        pipeline = QualityDrivenPipeline(config)
+        results = []
+        for t in dataset.arrivals():
+            results.extend(pipeline.process(t))
+        results.extend(pipeline.flush())
+        return results, pipeline
+
+    def _batched_run(self, dataset, config, chunk_size):
+        pipeline = QualityDrivenPipeline(config)
+        results = []
+        arrivals = list(dataset.arrivals())
+        for chunk in _chunks(arrivals, chunk_size):
+            results.extend(pipeline.process_batch(chunk))
+        results.extend(pipeline.flush())
+        return results, pipeline
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 256])
+    def test_adaptive_run_byte_identical(self, chunk_size):
+        # ModelBasedPolicy adapts K at interval boundaries that now fall
+        # mid-batch; the sequences must still match byte for byte.
+        dataset = _dataset(seed=17)
+        expected, ref = self._per_tuple_run(
+            dataset, _config(dataset, gamma=0.9, adaptive=True)
+        )
+        got, pipeline = self._batched_run(
+            dataset, _config(dataset, gamma=0.9, adaptive=True), chunk_size
+        )
+        assert _sequence(got) == _sequence(expected)
+        assert pipeline.metrics.k_history == ref.metrics.k_history
+        assert pipeline.metrics.tuples_processed == ref.metrics.tuples_processed
+        assert pipeline.metrics.results_produced == ref.metrics.results_produced
+        assert pipeline.metrics.latency_sum_ms == ref.metrics.latency_sum_ms
+        assert pipeline.join.stats.as_dict() == ref.join.stats.as_dict()
+
+    def test_continuous_policy_byte_identical(self):
+        # Max-K-slack bumps K on arrivals (mid-batch immediate releases).
+        dataset = _dataset(seed=19)
+        expected, ref = self._per_tuple_run(
+            dataset, _config(dataset, policy=MaxKSlackPolicy())
+        )
+        got, pipeline = self._batched_run(
+            dataset, _config(dataset, policy=MaxKSlackPolicy()), 64
+        )
+        assert _sequence(got) == _sequence(expected)
+        assert pipeline.metrics.k_history == ref.metrics.k_history
+        assert pipeline.join.stats.as_dict() == ref.join.stats.as_dict()
+
+    def test_count_only_mode_matches(self):
+        dataset = _dataset(seed=23)
+        config = _config(dataset, collect=False)
+        pipeline = QualityDrivenPipeline(config)
+        expected = 0
+        for t in dataset.arrivals():
+            expected += pipeline.process(t)
+        expected += pipeline.flush()
+        batched = QualityDrivenPipeline(_config(dataset, collect=False))
+        got = batched.process_batch(list(dataset.arrivals()))
+        got += batched.flush()
+        assert got == expected
+
+    def test_process_batch_after_flush_raises(self):
+        dataset = _dataset(duration_s=2)
+        pipeline = QualityDrivenPipeline(_config(dataset))
+        pipeline.flush()
+        with pytest.raises(RuntimeError):
+            pipeline.process_batch([StreamTuple(ts=1, values={"a1": 1}, stream=0)])
+
+    def test_empty_batch_is_noop(self):
+        dataset = _dataset(duration_s=2)
+        pipeline = QualityDrivenPipeline(_config(dataset))
+        assert pipeline.process_batch([]) == []
+        assert pipeline.metrics.tuples_processed == 0
+
+
+# ----------------------------------------------------------------------
+# partitioned level
+# ----------------------------------------------------------------------
+
+
+class TestPartitionedBatched:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_serial_batched_matches_per_tuple(self, shards):
+        dataset = _dataset(seed=29)
+        per_tuple, m_ref = run_partitioned(
+            dataset, _config(dataset), shards, executor="serial"
+        )
+        batched, m_got = run_partitioned(
+            dataset, _config(dataset), shards, executor="serial", chunk_size=128
+        )
+        if shards == 1:
+            # One shard: no cross-shard interleaving — byte-identical.
+            assert _sequence(batched) == _sequence(per_tuple)
+        else:
+            # Shards>1: each shard's sub-sequence is byte-identical, but
+            # within one process_batch call immediate results come back
+            # grouped by shard; the ts-sorted stream must agree exactly.
+            assert sorted(_sequence(batched)) == sorted(_sequence(per_tuple))
+        assert m_got.tuples_processed == m_ref.tuples_processed
+        assert m_got.results_produced == m_ref.results_produced
+        assert m_got.k_history == m_ref.k_history
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_process_executor_batched_byte_identical(self, shards):
+        # Under the process executor every result arrives in the
+        # ts-ordered flush merge, so per-tuple and batched feeding give
+        # byte-identical end-to-end sequences at any shard count.
+        dataset = _dataset(duration_s=8, seed=31)
+        per_tuple, _ = run_partitioned(
+            dataset, _config(dataset), shards, executor="process", batch_size=64
+        )
+        batched, _ = run_partitioned(
+            dataset,
+            _config(dataset),
+            shards,
+            executor="process",
+            batch_size=64,
+            chunk_size=128,
+        )
+        assert _sequence(batched) == _sequence(per_tuple)
+
+    def test_join_statistics_identical_across_drivers(self):
+        dataset = _dataset(seed=37)
+        from repro import PartitionedPipeline
+
+        def stats_of(chunk_size):
+            pipeline = PartitionedPipeline(_config(dataset), 4)
+            arrivals = list(dataset.arrivals())
+            if chunk_size is None:
+                for t in arrivals:
+                    pipeline.process(t)
+            else:
+                for chunk in _chunks(arrivals, chunk_size):
+                    pipeline.process_batch(chunk)
+            pipeline.flush()
+            return pipeline.join_statistics()
+
+        per_tuple = stats_of(None)
+        batched = stats_of(128)
+        assert batched == per_tuple
+        assert per_tuple["results_produced"] > 0
+
+    def test_broadcast_condition_batched_matches(self):
+        # Non-partitionable condition: the batch is broadcast to every
+        # shard; shard-0 emission must still reproduce the per-tuple run.
+        from repro import from_tuple_specs
+
+        specs = [(i % 2, 100 * i, {"a1": i % 5}) for i in range(80)]
+        dataset = from_tuple_specs(specs, num_streams=2)
+        condition = JoinCondition([BandPredicate(0, "a1", 1, "a1", 1.0)])
+        k = dataset.max_delay()
+        config = PipelineConfig(
+            window_sizes_ms=[seconds(2)] * 2,
+            condition=condition,
+            gamma=0.95,
+            period_ms=seconds(10),
+            interval_ms=seconds(1),
+            policy=FixedKPolicy(k),
+            initial_k_ms=k,
+        )
+        per_tuple, _ = run_partitioned(dataset, config, 3)
+        batched, _ = run_partitioned(dataset, config, 3, chunk_size=16)
+        assert per_tuple  # fixture actually joins
+        assert sorted(_sequence(batched)) == sorted(_sequence(per_tuple))
+
+    def test_chunk_size_validation(self):
+        dataset = _dataset(duration_s=2)
+        with pytest.raises(ValueError):
+            run_partitioned(dataset, _config(dataset), 2, chunk_size=0)
+
+    def test_partitioned_process_batch_after_flush_raises(self):
+        from repro import PartitionedPipeline
+
+        dataset = _dataset(duration_s=2)
+        pipeline = PartitionedPipeline(_config(dataset), 2)
+        pipeline.flush()
+        with pytest.raises(RuntimeError):
+            pipeline.process_batch([StreamTuple(ts=1, values={"a1": 1}, stream=0)])

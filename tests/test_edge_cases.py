@@ -108,10 +108,11 @@ class TestOperatorRobustness:
         b = KSlackBuffer(100)
         b.process(StreamTuple(ts=10, stream=0, seq=0))
         b.flush()
-        # Processing after flush is allowed for K-slack (it is stateless
-        # about termination); the buffer simply starts over.
-        released = b.process(StreamTuple(ts=500, stream=0, seq=1))
-        assert [t.ts for t in released] == []
+        # Flush is terminal: the local clock and delay statistics stop at
+        # their end-of-stream values, so further input would be annotated
+        # against a dead clock — it is rejected instead.
+        with pytest.raises(RuntimeError):
+            b.process(StreamTuple(ts=500, stream=0, seq=1))
 
     def test_synchronizer_flush_then_more_input(self):
         sync = Synchronizer(2)

@@ -345,8 +345,71 @@ class TestMetricsMerge:
         assert merged.latency_count == 7
         assert merged.latency_max_ms == 35
         assert merged.adaptation_seconds == [0.1, 0.2, 0.3]
-        assert merged.k_history == [(0, 0), (0, 0), (50, 80), (100, 50)]
+        # Both shards' initial (0, 0) epochs collapse to one entry; the
+        # individual trajectories survive in shard_k_histories.
+        assert merged.k_history == [(0, 0), (50, 80), (100, 50)]
+        assert merged.shard_k_histories == [
+            [(0, 0), (100, 50)],
+            [(0, 0), (50, 80)],
+        ]
         assert merged.average_latency_ms() == pytest.approx(80 / 7)
+
+    def test_merged_average_k_is_mean_of_shard_averages(self):
+        # Hand-computed over a run ending at t=200:
+        #   shard a: K=0 on [0,100), K=50 on [100,200)  -> avg 25
+        #   shard b: K=0 on [0,50),  K=80 on [50,200)   -> avg 60
+        # The merged average must be the mean of the shard averages
+        # (shards buffer concurrently), not the time-weighted average of
+        # the interleaved event union (which would give 45 here).
+        a = PipelineMetrics(k_history=[(0, 0), (100, 50)])
+        b = PipelineMetrics(k_history=[(0, 0), (50, 80)])
+        assert a.average_k_ms(200) == pytest.approx(25.0)
+        assert b.average_k_ms(200) == pytest.approx(60.0)
+        merged = PipelineMetrics.merge([a, b])
+        assert merged.average_k_ms(200) == pytest.approx((25.0 + 60.0) / 2)
+
+    def test_nested_merge_flattens_to_leaf_shard_trajectories(self):
+        # Merging already-merged metrics must average over the leaf
+        # shards, not over each part's interleaved event union.
+        a = PipelineMetrics(k_history=[(0, 0), (100, 50)])   # avg(200) = 25
+        b = PipelineMetrics(k_history=[(0, 0), (50, 80)])    # avg(200) = 60
+        c = PipelineMetrics(k_history=[(0, 40)])             # avg(200) = 40
+        nested = PipelineMetrics.merge([PipelineMetrics.merge([a, b]), c])
+        flat = PipelineMetrics.merge([a, b, c])
+        assert nested.shard_k_histories == flat.shard_k_histories
+        assert nested.average_k_ms(200) == pytest.approx((25 + 60 + 40) / 3)
+
+    def test_merge_collapses_nonadjacent_duplicate_epochs(self):
+        # Shards with differing initial K: the ts-sorted union interleaves
+        # the duplicates, which must still collapse to one entry each.
+        parts = [
+            PipelineMetrics(k_history=[(0, 0), (100, 50)]),
+            PipelineMetrics(k_history=[(0, 5)]),
+            PipelineMetrics(k_history=[(0, 0)]),
+        ]
+        merged = PipelineMetrics.merge(parts)
+        assert merged.k_history == [(0, 0), (0, 5), (100, 50)]
+
+    def test_merge_keeps_concurrent_equal_k_changes(self):
+        # Only the *initial* epochs dedupe: two shards adapting to the
+        # same K at the same (shared) boundary are distinct real events
+        # that K-change counts over the merged history must still see.
+        parts = [
+            PipelineMetrics(k_history=[(0, 0), (5_000, 250)]),
+            PipelineMetrics(k_history=[(0, 0), (5_000, 250)]),
+        ]
+        merged = PipelineMetrics.merge(parts)
+        assert merged.k_history == [(0, 0), (5_000, 250), (5_000, 250)]
+
+    def test_merge_of_identical_fixed_k_shards_keeps_fixed_k_average(self):
+        # N shards pinned at the same fixed K: before the fix the N
+        # duplicated (0, K) epochs were harmless but any zero-duration
+        # reading of the union skewed averages; now the merged view is
+        # exactly the single-shard view.
+        parts = [PipelineMetrics(k_history=[(0, 300)]) for _ in range(4)]
+        merged = PipelineMetrics.merge(parts)
+        assert merged.k_history == [(0, 300)]
+        assert merged.average_k_ms(1_000) == pytest.approx(300.0)
 
     def test_merge_empty(self):
         merged = PipelineMetrics.merge([])

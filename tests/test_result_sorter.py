@@ -78,3 +78,30 @@ class TestValidation:
         assert sorter.emitted == 0
         assert sorter.discarded == 0
         assert sorter.buffered == 0
+
+
+class TestFlushContract:
+    def test_flush_is_terminal_process_raises(self):
+        sorter = ResultSorter(5)
+        sorter.process(_result(10))
+        sorter.flush()
+        assert sorter.flushed
+        with pytest.raises(RuntimeError):
+            sorter.process(_result(20))
+
+    def test_flush_is_idempotent_and_empty(self):
+        sorter = ResultSorter(5)
+        sorter.process(_result(10))
+        assert [r.ts for r in sorter.flush()] == [10]
+        assert sorter.flush() == []
+        assert sorter.flush() == []
+
+    def test_counters_stable_across_re_flush(self):
+        sorter = ResultSorter(5)
+        for ts in (10, 7, 20):
+            sorter.process(_result(ts))
+        sorter.flush()
+        emitted_after_first = sorter.emitted
+        sorter.flush()
+        assert sorter.emitted == emitted_after_first
+        assert sorter.buffered == 0

@@ -129,3 +129,44 @@ class TestValidation:
     def test_positive_stream_count_required(self):
         with pytest.raises(ValueError):
             Synchronizer(0)
+
+
+class TestCloseStreamValidation:
+    def test_out_of_range_index_rejected(self):
+        sync = Synchronizer(2)
+        with pytest.raises(ValueError):
+            sync.close_stream(2)
+        with pytest.raises(ValueError):
+            sync.close_stream(-1)
+
+    def test_double_close_is_noop(self):
+        sync = Synchronizer(2)
+        sync.process(_t(0, 10))
+        first = sync.close_stream(1)  # unlocks the buffered S0 tuple
+        assert [(e.stream, e.ts) for e in first] == [(0, 10)]
+        assert sync.close_stream(1) == []
+        # With stream 1 closed, process() drains on arrival, so a later
+        # re-close has nothing left to unlock either.
+        emitted = sync.process(_t(0, 20, seq=1))
+        assert [(e.stream, e.ts) for e in emitted] == [(0, 20)]
+        assert sync.buffered == 0
+        assert sync.close_stream(1) == []
+
+
+class TestBatchedProcessing:
+    def test_batch_equals_per_tuple_emissions(self):
+        specs = [(0, 10), (1, 5), (0, 20), (1, 15), (0, 30), (1, 2), (1, 25)]
+        per_tuple = Synchronizer(2)
+        expected = _feed(per_tuple, specs)
+        batched = Synchronizer(2)
+        emitted = batched.process_batch(
+            [_t(stream, ts, seq) for seq, (stream, ts) in enumerate(specs)]
+        )
+        assert [(e.stream, e.ts) for e in emitted] == expected
+        assert batched.t_sync == per_tuple.t_sync
+        assert batched.buffered == per_tuple.buffered
+
+    def test_batch_validates_stream_index(self):
+        sync = Synchronizer(2)
+        with pytest.raises(ValueError):
+            sync.process_batch([_t(0, 10), StreamTuple(ts=20, stream=5)])

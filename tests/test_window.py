@@ -32,7 +32,7 @@ class TestBasics:
         w.insert(_t(1, v=1))
         w.clear()
         assert len(w) == 0
-        assert w.lookup("v", 1) == []
+        assert list(w.lookup("v", 1)) == []
 
 
 class TestExpiration:
@@ -100,7 +100,7 @@ class TestIndexes:
     def test_lookup_missing_value_empty(self):
         w = SlidingWindow(1000, indexed_attributes=["v"])
         w.insert(_t(1, v="x"))
-        assert w.lookup("v", "zzz") == []
+        assert list(w.lookup("v", "zzz")) == []
 
     def test_lookup_unindexed_attribute_raises(self):
         w = SlidingWindow(1000)
@@ -123,10 +123,20 @@ class TestIndexes:
         w = SlidingWindow(1000, indexed_attributes=["a", "b"])
         w.insert(_t(1, a=1, b="p"))
         w.insert(_t(2, a=1, b="q"))
-        assert len(w.lookup("a", 1)) == 2
-        assert len(w.lookup("b", "q")) == 1
+        assert len(list(w.lookup("a", 1))) == 2
+        assert len(list(w.lookup("b", "q"))) == 1
 
     def test_index_handles_missing_attribute_as_none(self):
         w = SlidingWindow(1000, indexed_attributes=["v"])
         w.insert(_t(1))  # no "v" attribute
         assert [t.ts for t in w.lookup("v", None)] == [1]
+
+    def test_lookup_is_lazy_over_the_bucket(self):
+        # The probe hot path must not pay a per-lookup list copy: lookup
+        # returns a single-pass iterable over the live bucket.
+        w = SlidingWindow(1000, indexed_attributes=["v"])
+        w.insert(_t(1, v="x"))
+        w.insert(_t(2, v="x"))
+        candidates = w.lookup("v", "x")
+        assert not isinstance(candidates, list)
+        assert [t.ts for t in candidates] == [1, 2]
