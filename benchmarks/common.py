@@ -89,3 +89,68 @@ def report(name: str, title: str, headers: Sequence[str], rows: List[Sequence]) 
 
 
 ALL_EXPERIMENTS = ("soccer", "d3", "d4")
+
+# ----------------------------------------------------------------------
+# heavy-probe workload (shared by the partitioned / columnar benches)
+# ----------------------------------------------------------------------
+
+#: Window size of the heavy-probe scenario.  With ``HEAVY_DOMAIN`` key
+#: values over a 60 ms per-stream inter-arrival, a 12 s window holds
+#: ~40 tuples per key and stream, so each in-order trigger enumerates
+#: ~40² candidate pairs — around a millisecond of probe work per tuple,
+#: >10× the D3syn sweep's ~80 µs, which is what a parallel engine needs
+#: to amortize its per-tuple transport cost against.
+HEAVY_WINDOW_S = 12
+HEAVY_DOMAIN = 5
+HEAVY_MAX_DELAY_MS = 800
+
+
+def heavy_probe_dataset(num_tuples: int = None, seed: int = 7):
+    """Three interleaved streams, tiny key domain, ~20% delayed arrivals.
+
+    The original D3syn partitioned sweep finishes in ~0.2 s wall — far
+    too light for shard parallelism to show anything but IPC overhead
+    (which is exactly how the pre-columnar regression stayed hidden).
+    This workload raises per-tuple probe work by >10× (see
+    ``HEAVY_WINDOW_S``) while keeping the equi-chain exactly
+    partitionable.
+    """
+    import random
+
+    from repro import from_tuple_specs
+
+    # Floor well above the smoke scale: below ~1200 tuples the 12 s
+    # window never fills and worker spawn overhead dwarfs the run,
+    # which would turn the columnar gates into coin flips.
+    if num_tuples is None:
+        num_tuples = max(1_200, int(2_400 * BENCH_SCALE))
+    rng = random.Random(seed)
+    events = []
+    for i in range(num_tuples):
+        delay = 0 if rng.random() < 0.8 else rng.randint(1, HEAVY_MAX_DELAY_MS)
+        events.append((i % 3, i * 20, delay, rng.randint(1, HEAVY_DOMAIN)))
+    order = sorted(
+        range(num_tuples), key=lambda i: (events[i][1] + events[i][2], i)
+    )
+    specs = [(events[i][0], events[i][1], {"a1": events[i][3]}) for i in order]
+    return from_tuple_specs(specs, num_streams=3, name="heavy-probe")
+
+
+def heavy_probe_config(k_ms: int, window_s: int = None, collect: bool = False):
+    """The pipeline config both heavy-probe benches run against.
+
+    One factory so ``bench_ext_partitioned`` and ``bench_ext_columnar``
+    cannot drift apart on the scenario parameters.
+    """
+    from repro import FixedKPolicy, PipelineConfig, equi_join_chain, seconds
+
+    return PipelineConfig(
+        window_sizes_ms=[seconds(window_s or HEAVY_WINDOW_S)] * 3,
+        condition=equi_join_chain("a1", 3),
+        gamma=0.95,
+        period_ms=15_000,
+        interval_ms=1_000,
+        policy=FixedKPolicy(k_ms),
+        initial_k_ms=k_ms,
+        collect_results=collect,
+    )

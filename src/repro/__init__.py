@@ -35,6 +35,13 @@ from .core.adaptation import (
     ModelBasedPolicy,
     NoKSlackPolicy,
 )
+from .core.blocks import (
+    MISSING,
+    BlockDecoder,
+    BlockEncoder,
+    ResultBlock,
+    TupleBlock,
+)
 from .core.kslack import KSlackBuffer
 from .core.model import CumulativePdf, RecallModel, StreamModelInput
 from .core.pipeline import PipelineConfig, PipelineMetrics, QualityDrivenPipeline
@@ -56,6 +63,8 @@ from .join.conditions import (
 )
 from .join.mswj import MSWJOperator
 from .parallel import (
+    TRANSPORT_BLOCKS,
+    TRANSPORT_OBJECTS,
     KeyRouter,
     MultiprocessingExecutor,
     PartitionedPipeline,
@@ -105,6 +114,9 @@ __all__ = [
     # parallel scale-out
     "PartitionedPipeline", "KeyRouter", "ShardExecutor", "SerialExecutor",
     "MultiprocessingExecutor", "ShardOutcome", "run_partitioned",
+    "TRANSPORT_BLOCKS", "TRANSPORT_OBJECTS",
+    # columnar block transport
+    "TupleBlock", "ResultBlock", "BlockEncoder", "BlockDecoder", "MISSING",
     # quality
     "RecallMeter", "RecallMeasurement", "TruthIndex", "compute_truth",
     # streams

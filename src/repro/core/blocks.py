@@ -1,0 +1,382 @@
+"""Columnar tuple-block codec for bulk tuple movement between processes.
+
+The partitioned pipeline's scale-out ceiling is set by how cheaply a
+routed batch crosses the parent→worker pipe.  Pickling N
+:class:`~repro.core.tuples.StreamTuple` objects ships N object graphs:
+per tuple a class reference, a state tuple, and a payload dict that
+re-frames the same attribute names over and over.  This module packs a
+whole batch into one flat *block* instead — shared-nothing stream joins
+(Chakraborty's windowed-join cluster, runtime-optimized m-way operators)
+get their scaling from exactly this kind of cheap bulk transport:
+
+* :class:`TupleBlock` — parallel columns ``ts`` / ``stream`` / ``seq`` /
+  ``arrival`` / ``delay`` plus one column per payload attribute.  One
+  pipe message carries one small picklable object whose state is a
+  handful of flat lists, not N nested graphs.
+* :class:`ResultBlock` — the return path: a batch of
+  :class:`~repro.core.tuples.JoinResult` objects as a ``ts`` column, a
+  flat component-index array, and one :class:`TupleBlock` of the
+  *distinct* component tuples (components repeat heavily across results;
+  they are interned once and shared again after decode).
+
+Schema negotiation
+------------------
+Payload attribute names travel **once per (connection, attribute-set)**:
+the :class:`BlockEncoder` interns each distinct attribute set, inlines
+the names in the first block that uses it, and afterwards sends only the
+small integer ``schema_id``; the :class:`BlockDecoder` on the other end
+caches ``schema_id → names``.  Encoder and decoder are therefore a
+stateful pair — one encoder must feed one decoder (the executor keeps
+one pair per shard connection).
+
+Tuples within one block may disagree on their attribute sets; absent
+attributes are carried as the pickle-stable :data:`MISSING` sentinel and
+dropped again on decode, so ``None`` payload values stay distinguishable
+from absent attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .tuples import JoinResult, StreamTuple
+
+#: Pickle protocol for block messages (out-of-band-buffer capable;
+#: available on every supported interpreter, 3.8+).
+PICKLE_PROTOCOL = 5
+
+
+class _MissingType:
+    """Singleton marking an absent payload attribute inside a column.
+
+    Distinct from ``None`` (a legal payload value) and pickle-stable:
+    unpickling yields the same singleton, so decoders can test with
+    ``is MISSING``.
+    """
+
+    __slots__ = ()
+    _instance: Optional["_MissingType"] = None
+
+    def __new__(cls) -> "_MissingType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):
+        return (_MissingType, ())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISSING"
+
+
+MISSING = _MissingType()
+
+
+class TupleBlock:
+    """A batch of stream tuples in columnar form (see module docstring).
+
+    ``attributes`` is the inlined schema (first block of its attribute
+    set on a connection) or ``None`` when ``schema_id`` refers to a
+    schema the receiving decoder has already cached.  ``columns`` holds
+    one payload column per schema attribute, in schema order;
+    ``has_missing`` tells the decoder whether any cell is the
+    :data:`MISSING` sentinel (dense blocks skip the per-cell check).
+    """
+
+    __slots__ = (
+        "schema_id",
+        "attributes",
+        "has_missing",
+        "ts",
+        "stream",
+        "seq",
+        "arrival",
+        "delay",
+        "columns",
+    )
+
+    def __init__(
+        self,
+        schema_id: int,
+        attributes: Optional[Tuple[str, ...]],
+        has_missing: bool,
+        ts: List[int],
+        stream: List[int],
+        seq: List[int],
+        arrival: List[int],
+        delay: List[int],
+        columns: List[list],
+    ) -> None:
+        self.schema_id = schema_id
+        self.attributes = attributes
+        self.has_missing = has_missing
+        self.ts = ts
+        self.stream = stream
+        self.seq = seq
+        self.arrival = arrival
+        self.delay = delay
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    # Bare state tuple: the block is the unit of IPC, so its own pickle
+    # framing is kept as small as the tuples' (cf. StreamTuple).
+    def __getstate__(self) -> Tuple:
+        return (
+            self.schema_id,
+            self.attributes,
+            self.has_missing,
+            self.ts,
+            self.stream,
+            self.seq,
+            self.arrival,
+            self.delay,
+            self.columns,
+        )
+
+    def __setstate__(self, state: Tuple) -> None:
+        (
+            self.schema_id,
+            self.attributes,
+            self.has_missing,
+            self.ts,
+            self.stream,
+            self.seq,
+            self.arrival,
+            self.delay,
+            self.columns,
+        ) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TupleBlock(n={len(self.ts)}, schema={self.schema_id}, "
+            f"attrs={self.attributes})"
+        )
+
+
+class ResultBlock:
+    """A batch of join results: ts column + component indexes + one
+    :class:`TupleBlock` of the distinct component tuples.
+
+    ``component_indexes`` is flat, ``arity`` entries per result, indexing
+    into the decoded component list — decoding restores the sharing of
+    component tuples across results instead of duplicating them.
+    """
+
+    __slots__ = ("arity", "ts", "component_indexes", "components")
+
+    def __init__(
+        self,
+        arity: int,
+        ts: List[int],
+        component_indexes: List[int],
+        components: TupleBlock,
+    ) -> None:
+        self.arity = arity
+        self.ts = ts
+        self.component_indexes = component_indexes
+        self.components = components
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def __getstate__(self) -> Tuple:
+        return (self.arity, self.ts, self.component_indexes, self.components)
+
+    def __setstate__(self, state: Tuple) -> None:
+        self.arity, self.ts, self.component_indexes, self.components = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultBlock(n={len(self.ts)}, arity={self.arity}, "
+            f"distinct_components={len(self.components)})"
+        )
+
+
+class BlockEncoder:
+    """Stateful encoder end of a connection (see module docstring)."""
+
+    __slots__ = ("_schemas",)
+
+    def __init__(self) -> None:
+        # attribute-set → (schema_id, canonical attribute order).  The
+        # first block of a set fixes the column order for every later
+        # block of that set, so decoders index columns consistently.
+        self._schemas: Dict[FrozenSet[str], Tuple[int, Tuple[str, ...]]] = {}
+
+    def encode(
+        self,
+        batch: Sequence[StreamTuple],
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> TupleBlock:
+        """Pack ``batch[start:stop]`` into one block — without slicing.
+
+        The index window keeps large pending buffers drain-able in
+        ``batch_size`` chunks with zero intermediate list copies.
+        """
+        if stop is None:
+            stop = len(batch)
+        ts_col: List[int] = []
+        stream_col: List[int] = []
+        seq_col: List[int] = []
+        arrival_col: List[int] = []
+        delay_col: List[int] = []
+        payloads: List[dict] = []
+        for i in range(start, stop):
+            t = batch[i]
+            ts_col.append(t.ts)
+            stream_col.append(t.stream)
+            seq_col.append(t.seq)
+            arrival_col.append(t.arrival)
+            delay_col.append(t.delay)
+            payloads.append(t.values)
+
+        if payloads:
+            first_keys = payloads[0].keys()
+            uniform = all(v.keys() == first_keys for v in payloads)
+        else:
+            uniform = True
+        if uniform and payloads:
+            attr_set = frozenset(first_keys)
+            natural: Tuple[str, ...] = tuple(first_keys)
+        elif payloads:
+            union: Dict[str, None] = {}
+            for values in payloads:
+                for name in values:
+                    if name not in union:
+                        union[name] = None
+            attr_set = frozenset(union)
+            natural = tuple(union)
+        else:
+            attr_set = frozenset()
+            natural = ()
+
+        entry = self._schemas.get(attr_set)
+        if entry is None:
+            schema_id = len(self._schemas)
+            self._schemas[attr_set] = (schema_id, natural)
+            attrs, inline = natural, natural
+        else:
+            schema_id, attrs = entry
+            inline = None
+
+        if uniform and attrs == natural:
+            columns = [[v[a] for v in payloads] for a in attrs]
+            has_missing = False
+        else:
+            # Mixed attribute sets (or a schema whose canonical order was
+            # fixed by an earlier block): absent cells carry MISSING.
+            columns = [[v.get(a, MISSING) for v in payloads] for a in attrs]
+            has_missing = not uniform
+        return TupleBlock(
+            schema_id,
+            inline,
+            has_missing,
+            ts_col,
+            stream_col,
+            seq_col,
+            arrival_col,
+            delay_col,
+            columns,
+        )
+
+    def encode_results(self, results: Sequence[JoinResult]) -> ResultBlock:
+        """Pack join results, interning each distinct component tuple once.
+
+        Components are deduplicated by object identity — exactly the
+        sharing the operator created (one window tuple appears in many
+        results), which is also what pickle's memo would discover, minus
+        the per-object graph walk.
+        """
+        ts_col: List[int] = []
+        flat: List[int] = []
+        distinct: List[StreamTuple] = []
+        index_of: Dict[int, int] = {}
+        arity = len(results[0].components) if results else 0
+        for result in results:
+            ts_col.append(result.ts)
+            for component in result.components:
+                key = id(component)
+                idx = index_of.get(key)
+                if idx is None:
+                    idx = len(distinct)
+                    index_of[key] = idx
+                    distinct.append(component)
+                flat.append(idx)
+        return ResultBlock(arity, ts_col, flat, self.encode(distinct))
+
+
+class BlockDecoder:
+    """Stateful decoder end of a connection (see module docstring)."""
+
+    __slots__ = ("_schemas",)
+
+    def __init__(self) -> None:
+        self._schemas: Dict[int, Tuple[str, ...]] = {}
+
+    def decode(self, block: TupleBlock) -> List[StreamTuple]:
+        """Unpack a block back into :class:`StreamTuple` objects.
+
+        Preserves everything the transport carries: payload (``None``
+        values kept, :data:`MISSING` cells dropped), ``delay`` and
+        ``arrival`` annotations included.
+        """
+        attrs = block.attributes
+        if attrs is not None:
+            self._schemas[block.schema_id] = attrs
+        else:
+            try:
+                attrs = self._schemas[block.schema_id]
+            except KeyError:
+                raise ValueError(
+                    f"block references unknown schema {block.schema_id}; "
+                    "encoder and decoder must form one connection pair"
+                ) from None
+        restore = StreamTuple.restore
+        if not attrs:
+            return [
+                restore(ts, {}, stream, seq, arrival, delay)
+                for ts, stream, seq, arrival, delay in zip(
+                    block.ts, block.stream, block.seq, block.arrival, block.delay
+                )
+            ]
+        rows = zip(
+            block.ts, block.stream, block.seq, block.arrival, block.delay,
+            *block.columns,
+        )
+        if block.has_missing:
+            return [
+                restore(
+                    row[0],
+                    {
+                        a: v
+                        for a, v in zip(attrs, row[5:])
+                        if v is not MISSING
+                    },
+                    row[1],
+                    row[2],
+                    row[3],
+                    row[4],
+                )
+                for row in rows
+            ]
+        return [
+            restore(row[0], dict(zip(attrs, row[5:])), row[1], row[2], row[3], row[4])
+            for row in rows
+        ]
+
+    def decode_results(self, block: ResultBlock) -> List[JoinResult]:
+        """Unpack a result block, re-sharing decoded component tuples."""
+        components = self.decode(block.components)
+        arity = block.arity
+        flat = block.component_indexes
+        results: List[JoinResult] = []
+        append = results.append
+        pos = 0
+        for ts in block.ts:
+            end = pos + arity
+            append(JoinResult(ts, tuple(components[i] for i in flat[pos:end])))
+            pos = end
+        return results

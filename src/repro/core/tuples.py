@@ -105,6 +105,33 @@ class StreamTuple:
     def get(self, attribute: str, default: Any = None) -> Any:
         return self.values.get(attribute, default)
 
+    @classmethod
+    def restore(
+        cls,
+        ts: int,
+        values: dict,
+        stream: int,
+        seq: int,
+        arrival: int,
+        delay: int,
+    ) -> "StreamTuple":
+        """Rebuild a tuple from already-validated parts, skipping ``__init__``.
+
+        The decode hot path of the columnar transport
+        (:mod:`repro.core.blocks`) materializes whole batches through
+        this constructor: no ``ts`` validation, no defensive ``values``
+        copy — the caller owns the dict and guarantees the invariants
+        the public constructor enforces.
+        """
+        t = cls.__new__(cls)
+        t.ts = ts
+        t.values = values
+        t.stream = stream
+        t.seq = seq
+        t.arrival = arrival
+        t.delay = delay
+        return t
+
     # Compact pickling: tuples cross process boundaries in bulk on the
     # partitioned pipeline's IPC path, and the default slotted-object
     # protocol (a per-object {slot: value} state dict) is measurably

@@ -17,7 +17,7 @@ from .executors import (
 )
 from .pipeline import PartitionedPipeline, run_partitioned
 from .router import KeyRouter, stable_hash
-from .shard import ShardOutcome
+from .shard import TRANSPORT_BLOCKS, TRANSPORT_OBJECTS, TRANSPORTS, ShardOutcome
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -27,6 +27,9 @@ __all__ = [
     "SerialExecutor",
     "ShardExecutor",
     "ShardOutcome",
+    "TRANSPORT_BLOCKS",
+    "TRANSPORT_OBJECTS",
+    "TRANSPORTS",
     "run_partitioned",
     "stable_hash",
 ]

@@ -6,7 +6,13 @@
 * :class:`MultiprocessingExecutor` — one worker process per shard with
   batched tuple transfer: the parent buffers up to ``batch_size`` tuples
   per shard before each pipe send, amortizing pickling and syscalls.
-  Results and metrics ride back once per shard at :meth:`~ShardExecutor.finish`.
+  The wire format is selectable (``transport``): columnar
+  :class:`~repro.core.blocks.TupleBlock` messages (the default — one
+  small flat object per message, schema negotiated once per shard and
+  attribute set) or legacy per-object pickling (the benchmark baseline).
+  Results and metrics ride back once per shard at
+  :meth:`~ShardExecutor.finish` — as a
+  :class:`~repro.core.blocks.ResultBlock` under block transport.
 
 Both present the same lifecycle so
 :class:`~repro.parallel.pipeline.PartitionedPipeline` treats them
@@ -17,15 +23,20 @@ then ``finish()`` exactly once.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
+from ..core.blocks import PICKLE_PROTOCOL, BlockDecoder, BlockEncoder
 from ..core.pipeline import PipelineConfig, QualityDrivenPipeline
 from ..core.tuples import StreamTuple
 from .shard import (
     MSG_ABORT,
     MSG_BATCH,
     MSG_FLUSH,
+    TRANSPORT_BLOCKS,
+    TRANSPORT_OBJECTS,
+    TRANSPORTS,
     Outputs,
     ShardOutcome,
     empty_outputs,
@@ -116,6 +127,17 @@ class SerialExecutor(ShardExecutor):
 class MultiprocessingExecutor(ShardExecutor):
     """One worker process per shard, batched tuple transfer over pipes.
 
+    ``transport`` selects the wire format: :data:`TRANSPORT_BLOCKS`
+    (default) encodes each outgoing batch as one columnar
+    :class:`~repro.core.blocks.TupleBlock` through a per-shard
+    schema-negotiating :class:`~repro.core.blocks.BlockEncoder`, and the
+    worker ships collected results back as one
+    :class:`~repro.core.blocks.ResultBlock`; :data:`TRANSPORT_OBJECTS`
+    pickles the tuple objects themselves (the pre-columnar path, kept as
+    the benchmark baseline).  Either way messages leave through
+    ``send_bytes`` with pickle protocol ``5`` — serialization happens
+    exactly once, in :meth:`_send`.
+
     Prefers the ``fork`` start method so non-picklable join conditions
     (theta lambdas) reach the children by inheritance; under ``spawn``
     the :class:`~repro.core.pipeline.PipelineConfig` must pickle.  Worker
@@ -128,30 +150,52 @@ class MultiprocessingExecutor(ShardExecutor):
         num_shards: int,
         batch_size: int = DEFAULT_BATCH_SIZE,
         start_method: Optional[str] = None,
+        transport: str = TRANSPORT_BLOCKS,
     ) -> None:
         super().__init__(config, num_shards)
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
         self.batch_size = batch_size
+        self.transport = transport
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         context = multiprocessing.get_context(start_method)
         self._batches: List[List[StreamTuple]] = [[] for _ in range(num_shards)]
+        self._encoders: Optional[List[BlockEncoder]] = (
+            [BlockEncoder() for _ in range(num_shards)]
+            if transport == TRANSPORT_BLOCKS
+            else None
+        )
         self._connections = []
         self._processes = []
         self._finished = False
-        for shard in range(num_shards):
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=shard_worker,
-                args=(child_conn, shard, config),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
-            self._processes.append(process)
+        # Worker startup can fail mid-loop (fd exhaustion, fork limits);
+        # without the unwind the already-started workers would sit in
+        # recv() forever holding their pipe fds.  close() handles the
+        # partially-built executor: lists are appended as resources are
+        # created, so whatever exists is released.
+        try:
+            for shard in range(num_shards):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                self._connections.append(parent_conn)
+                try:
+                    process = context.Process(
+                        target=shard_worker,
+                        args=(child_conn, shard, config, transport),
+                        daemon=True,
+                    )
+                    process.start()
+                finally:
+                    child_conn.close()
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
 
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
         if self._finished:
@@ -159,36 +203,58 @@ class MultiprocessingExecutor(ShardExecutor):
         batch = self._batches[shard]
         batch.append(t)
         if len(batch) >= self.batch_size:
-            self._send(shard, (MSG_BATCH, batch))
-            self._batches[shard] = []
+            self._dispatch(shard, batch, 0, len(batch))
+            batch.clear()
         return empty_outputs(self.config.collect_results)
 
     def submit_batch(self, shard: int, batch: Sequence[StreamTuple]) -> Outputs:
         """Queue a whole routed batch with one extend per call.
 
-        The pending buffer is drained in ``batch_size`` slices — the same
-        pipe-message cadence and parent-side buffering bound as per-tuple
-        submission, reached without the per-tuple method dispatch.
+        The pending buffer drains in ``batch_size`` index windows — the
+        same pipe-message cadence and parent-side buffering bound as
+        per-tuple submission — and the leftover head is removed in place
+        (``del pending[:start]``), so a large routed batch costs one
+        ``extend`` plus one compaction instead of repeated backlog
+        slices.  Under block transport each window is encoded straight
+        from the buffer (no intermediate sub-lists at all).
         """
         if self._finished:
             raise RuntimeError("executor already finished")
         pending = self._batches[shard]
         pending.extend(batch)
-        if len(pending) >= self.batch_size:
-            size = self.batch_size
+        size = self.batch_size
+        if len(pending) >= size:
             start = 0
-            while len(pending) - start >= size:
-                self._send(shard, (MSG_BATCH, pending[start : start + size]))
+            total = len(pending)
+            while total - start >= size:
+                self._dispatch(shard, pending, start, start + size)
                 start += size
-            self._batches[shard] = pending[start:]
+            del pending[:start]
         return empty_outputs(self.config.collect_results)
 
+    def _dispatch(
+        self, shard: int, pending: Sequence[StreamTuple], start: int, stop: int
+    ) -> None:
+        """Send ``pending[start:stop]`` as one MSG_BATCH message."""
+        if self._encoders is not None:
+            payload = self._encoders[shard].encode(pending, start, stop)
+        elif start == 0 and stop == len(pending):
+            # Serialization happens synchronously in _send, so the live
+            # buffer can be passed (and cleared by the caller) directly.
+            payload = pending
+        else:
+            payload = pending[start:stop]
+        self._send(shard, (MSG_BATCH, payload))
+
     def _send(self, shard: int, message) -> None:
-        # A worker that died (e.g. its pipeline raised) closes its end of
+        # Serialize exactly once (protocol 5) and ship raw bytes.  A
+        # worker that died (e.g. its pipeline raised) closes its end of
         # the pipe; swallow the broken-pipe here so its error report —
         # already buffered in the pipe — surfaces at finish().
         try:
-            self._connections[shard].send(message)
+            self._connections[shard].send_bytes(
+                pickle.dumps(message, protocol=PICKLE_PROTOCOL)
+            )
         except OSError:
             pass
 
@@ -196,11 +262,15 @@ class MultiprocessingExecutor(ShardExecutor):
         if self._finished:
             raise RuntimeError("executor already finished")
         self._finished = True
+        decode_results = (
+            self.transport == TRANSPORT_BLOCKS and self.config.collect_results
+        )
         outcomes: List[ShardOutcome] = []
         try:
             for shard in range(self.num_shards):
                 if self._batches[shard]:
-                    self._send(shard, (MSG_BATCH, self._batches[shard]))
+                    pending = self._batches[shard]
+                    self._dispatch(shard, pending, 0, len(pending))
                     self._batches[shard] = []
                 self._send(shard, (MSG_FLUSH, None))
             for shard, conn in enumerate(self._connections):
@@ -212,6 +282,13 @@ class MultiprocessingExecutor(ShardExecutor):
                     ) from None
                 if tag != "ok":
                     raise RuntimeError(f"shard {shard} worker failed: {payload}")
+                if decode_results:
+                    # Each worker encoded with its own fresh encoder, so
+                    # each outcome block carries its schema inline; a
+                    # fresh decoder per outcome keeps the pairing exact.
+                    payload.outputs = BlockDecoder().decode_results(
+                        payload.outputs
+                    )
                 outcomes.append(payload)
         finally:
             for conn in self._connections:
@@ -229,12 +306,14 @@ class MultiprocessingExecutor(ShardExecutor):
         Without this, a pipeline dropped before ``flush()`` would leave
         every worker blocked in ``recv`` (plus its pipe fds) until the
         host process exits — daemon workers bound the damage at exit, but
-        long-lived hosts need the explicit release.
+        long-lived hosts need the explicit release.  Also the unwind path
+        for a constructor that failed mid-startup, where connections may
+        outnumber started processes.
         """
         already_finished = self._finished
         self._finished = True
         if not already_finished:
-            for shard in range(self.num_shards):
+            for shard in range(len(self._connections)):
                 self._send(shard, (MSG_ABORT, None))
         for conn in self._connections:
             try:

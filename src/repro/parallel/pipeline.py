@@ -49,7 +49,13 @@ from .executors import (
     ShardExecutor,
 )
 from .router import KeyRouter
-from .shard import Outputs, ShardOutcome, empty_outputs, merge_outputs
+from .shard import (
+    TRANSPORT_BLOCKS,
+    Outputs,
+    ShardOutcome,
+    empty_outputs,
+    merge_outputs,
+)
 
 #: An executor name or a factory ``(config, num_shards) -> ShardExecutor``.
 ExecutorSpec = Union[str, Callable[[PipelineConfig, int], ShardExecutor]]
@@ -71,6 +77,13 @@ class PartitionedPipeline:
     batch_size:
         Tuples buffered per shard before one IPC dispatch (``"process"``
         executor only).
+    transport:
+        Wire format of the ``"process"`` executor:
+        :data:`~repro.parallel.shard.TRANSPORT_BLOCKS` (default —
+        columnar :class:`~repro.core.blocks.TupleBlock` /
+        :class:`~repro.core.blocks.ResultBlock` messages) or
+        :data:`~repro.parallel.shard.TRANSPORT_OBJECTS` (legacy
+        per-object pickling).
     """
 
     def __init__(
@@ -79,6 +92,7 @@ class PartitionedPipeline:
         num_shards: int,
         executor: ExecutorSpec = "serial",
         batch_size: int = DEFAULT_BATCH_SIZE,
+        transport: str = TRANSPORT_BLOCKS,
     ) -> None:
         self.config = config
         self.num_shards = num_shards
@@ -89,7 +103,7 @@ class PartitionedPipeline:
             self.executor: ShardExecutor = SerialExecutor(config, num_shards)
         elif executor == "process":
             self.executor = MultiprocessingExecutor(
-                config, num_shards, batch_size=batch_size
+                config, num_shards, batch_size=batch_size, transport=transport
             )
         elif callable(executor):
             self.executor = executor(config, num_shards)
@@ -180,12 +194,14 @@ class PartitionedPipeline:
     def process_batch(self, batch: Sequence[StreamTuple]) -> Outputs:
         """Feed a burst of raw tuples; return results made available now.
 
-        Routes the whole burst up front, then dispatches **one** batch
-        per shard per call (in shard order) instead of one envelope per
-        tuple.  Each shard still sees its sub-stream in arrival order, so
-        every shard's internal result sequence — and therefore the result
-        multiset and the ts-ordered :meth:`flush` sequence — is identical
-        to per-tuple feeding.  Only the interleaving of *immediately
+        Routes the whole burst up front through the vectorized
+        :meth:`~repro.parallel.router.KeyRouter.route_batch` single-pass
+        partitioner, then dispatches **one** batch per shard per call
+        (in shard order) instead of one envelope per tuple.  Each shard
+        still sees its sub-stream in arrival order, so every shard's
+        internal result sequence — and therefore the result multiset and
+        the ts-ordered :meth:`flush` sequence — is identical to
+        per-tuple feeding.  Only the interleaving of *immediately
         returned* results across shards differs: within one call they
         come back grouped by shard rather than by arrival (the serial
         executor returns them here; the process executor defers
@@ -194,17 +210,13 @@ class PartitionedPipeline:
         if self._flushed:
             raise RuntimeError("pipeline already flushed; create a new instance")
         collect = self.config.collect_results
-        if self.router.exact:
-            per_shard: List[Sequence[StreamTuple]] = [
-                [] for _ in range(self.num_shards)
-            ]
-            shard_of = self.router.shard_of
-            for t in batch:
-                per_shard[shard_of(t)].append(t)
-        else:
+        routed = self.router.route_batch(batch)
+        if routed is None:
             # Broadcast: every shard consumes the same (read-only) burst;
             # no per-shard copies.
-            per_shard = [batch] * self.num_shards
+            per_shard: List[Sequence[StreamTuple]] = [batch] * self.num_shards
+        else:
+            per_shard = routed
         outputs = empty_outputs(collect)
         submit_batch = self.executor.submit_batch
         emit_shards = self._emit_shards
@@ -267,6 +279,7 @@ def run_partitioned(
     executor: ExecutorSpec = "serial",
     batch_size: int = DEFAULT_BATCH_SIZE,
     chunk_size: Optional[int] = None,
+    transport: str = TRANSPORT_BLOCKS,
 ) -> tuple:
     """Replay a finite dataset through a :class:`PartitionedPipeline`.
 
@@ -279,11 +292,17 @@ def run_partitioned(
     (:meth:`~PartitionedPipeline.process`); a positive ``chunk_size``
     slices the arrival stream into bursts of that many tuples and drives
     the batched engine (:meth:`~PartitionedPipeline.process_batch`).
+    ``transport`` picks the ``"process"`` executor's wire format (see
+    :class:`PartitionedPipeline`).
     """
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     with PartitionedPipeline(
-        config, num_shards, executor=executor, batch_size=batch_size
+        config,
+        num_shards,
+        executor=executor,
+        batch_size=batch_size,
+        transport=transport,
     ) as pipeline:
         collect = config.collect_results
         outputs = empty_outputs(collect)

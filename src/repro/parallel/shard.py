@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..core.blocks import BlockDecoder, BlockEncoder
 from ..core.pipeline import (
     Outputs,
     PipelineConfig,
@@ -47,24 +48,46 @@ MSG_BATCH = "batch"
 MSG_FLUSH = "flush"
 MSG_ABORT = "abort"
 
+# Wire formats of the multiprocessing executor's tuple transfer.
+#: Columnar :class:`~repro.core.blocks.TupleBlock` messages with a
+#: schema-negotiating encoder/decoder pair per shard connection, and a
+#: :class:`~repro.core.blocks.ResultBlock` for collected results on the
+#: return path.  The default: one flat object per pipe message.
+TRANSPORT_BLOCKS = "blocks"
+#: Legacy per-object pickling: each message carries a list of
+#: :class:`~repro.core.tuples.StreamTuple` graphs.  Kept as the
+#: benchmark baseline and as a fallback for exotic payload values whose
+#: pickling relies on object-graph context.
+TRANSPORT_OBJECTS = "objects"
 
-def shard_worker(conn, shard: int, config: PipelineConfig) -> None:
+TRANSPORTS = (TRANSPORT_BLOCKS, TRANSPORT_OBJECTS)
+
+
+def shard_worker(
+    conn, shard: int, config: PipelineConfig, transport: str = TRANSPORT_OBJECTS
+) -> None:
     """Child-process loop: drain tuple batches, flush, send the outcome back.
 
-    Protocol (parent → child): any number of ``(MSG_BATCH, [tuples])``
-    messages, then exactly one ``(MSG_FLUSH, None)``.  The child replies
-    with a single ``("ok", ShardOutcome)`` — or ``("error", text)`` if the
-    pipeline raised — and exits.  Outputs accumulate in the child and
-    travel back once, so steady-state IPC is just the batched tuple
-    stream.  ``(MSG_ABORT, None)`` makes the child exit immediately with
-    no reply — the shutdown path for abandoned runs; an explicit message
-    rather than pipe EOF because under the ``fork`` start method sibling
-    workers inherit copies of earlier pipe ends, so a parent-side close
-    alone does not reach every child.
+    Protocol (parent → child): any number of ``(MSG_BATCH, payload)``
+    messages — ``payload`` is a list of tuples under
+    :data:`TRANSPORT_OBJECTS` or a :class:`~repro.core.blocks.TupleBlock`
+    under :data:`TRANSPORT_BLOCKS` — then exactly one ``(MSG_FLUSH,
+    None)``.  The child replies with a single ``("ok", ShardOutcome)`` —
+    or ``("error", text)`` if the pipeline raised — and exits.  Outputs
+    accumulate in the child and travel back once (as a
+    :class:`~repro.core.blocks.ResultBlock` in the outcome's ``outputs``
+    field under block transport with collected results; the parent
+    decodes before exposing the outcome), so steady-state IPC is just
+    the batched tuple stream.  ``(MSG_ABORT, None)`` makes the child
+    exit immediately with no reply — the shutdown path for abandoned
+    runs; an explicit message rather than pipe EOF because under the
+    ``fork`` start method sibling workers inherit copies of earlier pipe
+    ends, so a parent-side close alone does not reach every child.
     """
     try:
         pipeline = QualityDrivenPipeline(config)
         collect = config.collect_results
+        decoder = BlockDecoder() if transport == TRANSPORT_BLOCKS else None
         outputs = empty_outputs(collect)
         while True:
             tag, payload = conn.recv()
@@ -72,10 +95,17 @@ def shard_worker(conn, shard: int, config: PipelineConfig) -> None:
                 return
             if tag == MSG_FLUSH:
                 break
+            if decoder is not None:
+                # Lazy decode: blocks materialize tuples here, right at
+                # the point of consumption — the pipe and the parent
+                # never hold per-tuple objects for this batch.
+                payload = decoder.decode(payload)
             # Each IPC batch drains through the batched engine; identical
             # to a per-tuple loop, minus the per-tuple driver overhead.
             outputs = merge_outputs(collect, outputs, pipeline.process_batch(payload))
         outputs = merge_outputs(collect, outputs, pipeline.flush())
+        if decoder is not None and collect:
+            outputs = BlockEncoder().encode_results(outputs)
         conn.send(
             (
                 "ok",

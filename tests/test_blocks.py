@@ -1,0 +1,452 @@
+"""Columnar block-transport suite: codec round-trips + transport invariance.
+
+Two layers of contract:
+
+* **Codec** — ``decode(encode(batch))`` must reproduce the tuples
+  exactly (equality, ``delay``/``arrival`` annotations, attribute
+  access) for arbitrary payload shapes: ``None`` values, mixed value
+  types, attribute sets that differ across tuples in one block, empty
+  batches, unicode attribute names.  Schema negotiation must intern each
+  attribute set once per encoder/decoder pair.
+* **Transport invariance** — the columnar wire format is a pure
+  transport optimization: partitioned runs over block transport must
+  produce byte-identical result sequences, ``JoinStatistics`` and merged
+  ``PipelineMetrics`` (deterministic fields) versus the object-pickling
+  transport and the serial batched engine, at shards 1/2/4, in collected
+  and count-only modes.
+"""
+
+import multiprocessing
+import pickle
+import random
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    MISSING,
+    TRANSPORT_BLOCKS,
+    TRANSPORT_OBJECTS,
+    BandPredicate,
+    BlockDecoder,
+    BlockEncoder,
+    FixedKPolicy,
+    JoinCondition,
+    JoinResult,
+    MultiprocessingExecutor,
+    PartitionedPipeline,
+    PipelineConfig,
+    StreamTuple,
+    equi_join_chain,
+    from_tuple_specs,
+    make_d3_syn,
+    seconds,
+)
+
+CONDITION = equi_join_chain("a1", 3)
+
+
+def _roundtrip(batch, encoder=None, decoder=None):
+    """Encode → pickle (protocol 5, as the pipe does) → decode."""
+    encoder = encoder or BlockEncoder()
+    decoder = decoder or BlockDecoder()
+    block = pickle.loads(pickle.dumps(encoder.encode(batch), protocol=5))
+    return decoder.decode(block)
+
+
+def _assert_tuples_identical(decoded, original):
+    assert decoded == original
+    for d, o in zip(decoded, original):
+        assert d.delay == o.delay
+        assert d.arrival == o.arrival
+        assert d.values == o.values
+        for name, value in o.values.items():
+            assert d[name] == value or (value != value)  # NaN-safe access
+
+
+# ----------------------------------------------------------------------
+# codec round-trips
+# ----------------------------------------------------------------------
+
+
+class TestCodecRoundTrip:
+    def test_empty_batch(self):
+        assert _roundtrip([]) == []
+
+    def test_uniform_payloads(self):
+        batch = [
+            StreamTuple(ts=i * 10, values={"a1": i % 4, "v": float(i)},
+                        stream=i % 3, seq=i, arrival=i * 10 + 3)
+            for i in range(50)
+        ]
+        for t in batch:
+            t.delay = t.seq % 7
+        _assert_tuples_identical(_roundtrip(batch), batch)
+
+    def test_none_value_distinct_from_missing_attribute(self):
+        with_none = StreamTuple(ts=1, values={"a1": 1, "x": None}, stream=0, seq=0)
+        without_x = StreamTuple(ts=2, values={"a1": 2}, stream=1, seq=1)
+        decoded = _roundtrip([with_none, without_x])
+        assert decoded[0].values == {"a1": 1, "x": None}
+        assert "x" in decoded[0].values and decoded[0]["x"] is None
+        assert "x" not in decoded[1].values
+        assert decoded[1].get("x", "absent") == "absent"
+
+    def test_mixed_value_types_and_unicode_keys(self):
+        batch = [
+            StreamTuple(ts=0, values={"ключ": "значение", "n": 1}, stream=0, seq=0),
+            StreamTuple(ts=1, values={"ключ": (1, "two"), "n": 2.5}, stream=1, seq=1),
+            StreamTuple(ts=2, values={"ключ": [1, 2], "n": None, "émoji🎯": {"a": 1}},
+                        stream=2, seq=2),
+        ]
+        _assert_tuples_identical(_roundtrip(batch), batch)
+
+    def test_empty_payloads(self):
+        batch = [StreamTuple(ts=i, stream=i % 2, seq=i) for i in range(5)]
+        _assert_tuples_identical(_roundtrip(batch), batch)
+
+    def test_schema_interned_once_per_attribute_set(self):
+        encoder, decoder = BlockEncoder(), BlockDecoder()
+        a = [StreamTuple(ts=1, values={"a1": 1, "b": 2}, stream=0, seq=0)]
+        b = [StreamTuple(ts=2, values={"b": 3, "a1": 4}, stream=0, seq=1)]
+        c = [StreamTuple(ts=3, values={"c": 5}, stream=0, seq=2)]
+        first = encoder.encode(a)
+        again = encoder.encode(b)  # same attribute *set*, other dict order
+        other = encoder.encode(c)
+        assert first.attributes is not None  # schema travels inline once
+        assert again.attributes is None      # ...then only by id
+        assert again.schema_id == first.schema_id
+        assert other.schema_id != first.schema_id
+        assert decoder.decode(first) == a
+        assert decoder.decode(again) == b
+        assert decoder.decode(other) == c
+
+    def test_decoder_rejects_unknown_schema(self):
+        encoder = BlockEncoder()
+        encoder.encode([StreamTuple(ts=1, values={"a1": 1}, stream=0, seq=0)])
+        later = encoder.encode([StreamTuple(ts=2, values={"a1": 2}, stream=0, seq=1)])
+        assert later.attributes is None
+        with pytest.raises(ValueError):
+            BlockDecoder().decode(later)  # fresh decoder never saw the schema
+
+    def test_missing_sentinel_pickle_stable(self):
+        assert pickle.loads(pickle.dumps(MISSING, protocol=5)) is MISSING
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),  # ts
+                st.dictionaries(
+                    st.text(min_size=1, max_size=8),
+                    st.one_of(
+                        st.none(),
+                        st.integers(),
+                        st.floats(allow_nan=False),
+                        st.text(max_size=12),
+                        st.tuples(st.integers(), st.text(max_size=4)),
+                    ),
+                    max_size=5,
+                ),
+                st.integers(min_value=0, max_value=4),       # stream
+                st.integers(min_value=-500, max_value=500),  # delay
+            ),
+            max_size=40,
+        )
+    )
+    def test_property_roundtrip(self, rows):
+        batch = []
+        for seq, (ts, values, stream, delay) in enumerate(rows):
+            t = StreamTuple(ts=ts, values=values, stream=stream, seq=seq,
+                            arrival=ts + max(0, delay))
+            t.delay = delay
+            batch.append(t)
+        _assert_tuples_identical(_roundtrip(batch), batch)
+
+
+class TestResultBlock:
+    def _results(self, num=30, share=3):
+        rng = random.Random(11)
+        pool = [
+            StreamTuple(ts=i * 5, values={"a1": i % share, "v": i},
+                        stream=i % 3, seq=i)
+            for i in range(12)
+        ]
+        results = []
+        for i in range(num):
+            comps = tuple(
+                pool[rng.randrange(len(pool))] for _ in range(3)
+            )
+            results.append(JoinResult(max(c.ts for c in comps), comps))
+        return results
+
+    def test_roundtrip_preserves_results(self):
+        results = self._results()
+        encoder, decoder = BlockEncoder(), BlockDecoder()
+        block = pickle.loads(
+            pickle.dumps(encoder.encode_results(results), protocol=5)
+        )
+        decoded = decoder.decode_results(block)
+        assert decoded == results
+        assert [r.ts for r in decoded] == [r.ts for r in results]
+
+    def test_component_sharing_restored(self):
+        # One window tuple feeding many results must decode to ONE object
+        # shared across those results, as the operator produced it.
+        results = self._results()
+        block = BlockEncoder().encode_results(results)
+        assert len(block.components) < 3 * len(results)  # interning happened
+        decoded = BlockDecoder().decode_results(block)
+        seen = {}
+        for r in decoded:
+            for c in r.components:
+                key = c.identity()
+                if key in seen:
+                    assert c is seen[key]
+                else:
+                    seen[key] = c
+
+    def test_empty_results(self):
+        block = BlockEncoder().encode_results([])
+        assert BlockDecoder().decode_results(block) == []
+
+
+# ----------------------------------------------------------------------
+# transport invariance (acceptance: byte-identical sequences/stats/metrics)
+# ----------------------------------------------------------------------
+
+
+def _dataset(duration_s=8, seed=31):
+    return make_d3_syn(
+        duration_ms=seconds(duration_s), seed=seed, inter_arrival_ms=50
+    )
+
+
+def _config(dataset, collect=True, adaptive=False):
+    k = dataset.max_delay()
+    if adaptive:
+        policy, initial_k = None, 0
+    else:
+        policy, initial_k = FixedKPolicy(k), k
+    return PipelineConfig(
+        window_sizes_ms=[seconds(2)] * 3,
+        condition=CONDITION,
+        gamma=0.9,
+        period_ms=seconds(10),
+        interval_ms=seconds(1),
+        policy=policy,
+        initial_k_ms=initial_k,
+        collect_results=collect,
+    )
+
+
+def _chunks(items, size):
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
+def _sequence(results):
+    return [(r.ts, r.key()) for r in results]
+
+
+def _metric_fields(metrics):
+    """The deterministic fields of merged PipelineMetrics (wall-clock
+    ``adaptation_seconds`` excluded)."""
+    return {
+        "k_history": metrics.k_history,
+        "shard_k_histories": metrics.shard_k_histories,
+        "adaptations": metrics.adaptations,
+        "results_produced": metrics.results_produced,
+        "tuples_processed": metrics.tuples_processed,
+        "latency_sum_ms": metrics.latency_sum_ms,
+        "latency_count": metrics.latency_count,
+        "latency_max_ms": metrics.latency_max_ms,
+    }
+
+
+def _run(dataset, config, shards, executor="serial",
+         transport=TRANSPORT_BLOCKS, chunk_size=128, per_tuple=False):
+    """Drive a PartitionedPipeline; return (outputs, metrics, join stats)."""
+    pipeline = PartitionedPipeline(
+        config, shards, executor=executor, batch_size=64, transport=transport
+    )
+    collect = config.collect_results
+    outputs = [] if collect else 0
+    with pipeline:
+        arrivals = list(dataset.arrivals())
+        if per_tuple:
+            for t in arrivals:
+                produced = pipeline.process(t)
+                outputs = outputs + produced if not collect else outputs
+                if collect:
+                    outputs.extend(produced)
+        else:
+            for chunk in _chunks(arrivals, chunk_size):
+                produced = pipeline.process_batch(chunk)
+                if collect:
+                    outputs.extend(produced)
+                else:
+                    outputs += produced
+        final = pipeline.flush()
+        if collect:
+            outputs.extend(final)
+        else:
+            outputs += final
+        return outputs, pipeline.metrics, pipeline.join_statistics()
+
+
+class TestTransportInvariance:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_blocks_byte_identical_to_object_transport(self, shards):
+        dataset = _dataset()
+        blocks, m_blocks, s_blocks = _run(
+            dataset, _config(dataset), shards, executor="process",
+            transport=TRANSPORT_BLOCKS,
+        )
+        objects, m_objects, s_objects = _run(
+            dataset, _config(dataset), shards, executor="process",
+            transport=TRANSPORT_OBJECTS,
+        )
+        assert _sequence(blocks) == _sequence(objects)
+        assert s_blocks == s_objects
+        assert _metric_fields(m_blocks) == _metric_fields(m_objects)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_blocks_match_serial_batched_engine(self, shards):
+        dataset = _dataset()
+        serial, m_serial, s_serial = _run(
+            dataset, _config(dataset), shards, executor="serial"
+        )
+        blocks, m_blocks, s_blocks = _run(
+            dataset, _config(dataset), shards, executor="process",
+            transport=TRANSPORT_BLOCKS,
+        )
+        if shards == 1:
+            assert _sequence(blocks) == _sequence(serial)
+        else:
+            # Serial returns immediate results grouped by shard; the
+            # process executor defers everything to the ts-ordered flush.
+            assert sorted(_sequence(blocks)) == sorted(_sequence(serial))
+        assert s_blocks == s_serial
+        assert _metric_fields(m_blocks) == _metric_fields(m_serial)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_count_only_mode(self, shards):
+        dataset = _dataset(seed=37)
+        serial, m_serial, s_serial = _run(
+            dataset, _config(dataset, collect=False), shards, executor="serial"
+        )
+        blocks, m_blocks, s_blocks = _run(
+            dataset, _config(dataset, collect=False), shards,
+            executor="process", transport=TRANSPORT_BLOCKS,
+        )
+        objects, _, s_objects = _run(
+            dataset, _config(dataset, collect=False), shards,
+            executor="process", transport=TRANSPORT_OBJECTS,
+        )
+        assert blocks == serial == objects
+        assert s_blocks == s_serial == s_objects
+        assert _metric_fields(m_blocks) == _metric_fields(m_serial)
+
+    def test_adaptive_run_k_trajectories_identical(self):
+        # ModelBasedPolicy adapts K per shard; the transport must not
+        # perturb a single adaptation decision.
+        dataset = _dataset(seed=43)
+        blocks, m_blocks, s_blocks = _run(
+            dataset, _config(dataset, adaptive=True), 2, executor="process",
+            transport=TRANSPORT_BLOCKS,
+        )
+        objects, m_objects, s_objects = _run(
+            dataset, _config(dataset, adaptive=True), 2, executor="process",
+            transport=TRANSPORT_OBJECTS,
+        )
+        assert _sequence(blocks) == _sequence(objects)
+        assert s_blocks == s_objects
+        assert _metric_fields(m_blocks) == _metric_fields(m_objects)
+
+    def test_per_tuple_submission_over_blocks(self):
+        # The submit() accumulation path (process() driver) must encode
+        # the same blocks the batched driver does.
+        dataset = _dataset(duration_s=6, seed=47)
+        per_tuple, _, s_pt = _run(
+            dataset, _config(dataset), 2, executor="process",
+            transport=TRANSPORT_BLOCKS, per_tuple=True,
+        )
+        batched, _, s_b = _run(
+            dataset, _config(dataset), 2, executor="process",
+            transport=TRANSPORT_BLOCKS,
+        )
+        assert _sequence(per_tuple) == _sequence(batched)
+        assert s_pt == s_b
+
+    def test_broadcast_condition_over_blocks(self):
+        # Non-partitionable condition: every shard receives the full
+        # burst; shard-0 emission must reproduce the serial run.
+        specs = [(i % 2, 100 * i, {"a1": i % 5}) for i in range(80)]
+        dataset = from_tuple_specs(specs, num_streams=2)
+        condition = JoinCondition([BandPredicate(0, "a1", 1, "a1", 1.0)])
+        k = dataset.max_delay()
+        config = PipelineConfig(
+            window_sizes_ms=[seconds(2)] * 2,
+            condition=condition,
+            gamma=0.95,
+            period_ms=seconds(10),
+            interval_ms=seconds(1),
+            policy=FixedKPolicy(k),
+            initial_k_ms=k,
+        )
+        serial, _, s_serial = _run(dataset, config, 3, executor="serial")
+        blocks, _, s_blocks = _run(
+            dataset, config, 3, executor="process", transport=TRANSPORT_BLOCKS
+        )
+        assert serial  # fixture actually joins
+        assert sorted(_sequence(blocks)) == sorted(_sequence(serial))
+        assert s_blocks == s_serial
+
+    def test_rejects_unknown_transport(self):
+        dataset = _dataset(duration_s=2)
+        with pytest.raises(ValueError):
+            MultiprocessingExecutor(_config(dataset), 2, transport="carrier-pigeon")
+
+
+# ----------------------------------------------------------------------
+# executor lifecycle (startup-failure unwind)
+# ----------------------------------------------------------------------
+
+
+class TestExecutorStartupFailure:
+    def test_partial_startup_is_unwound(self, monkeypatch):
+        """If Process.start() raises mid-loop, the already-started
+        workers and their pipe fds must be released, not leaked."""
+        real = multiprocessing.get_context("fork")
+        started = []
+
+        class FailingSecondStart(real.Process):
+            def start(self):
+                if started:
+                    raise OSError("simulated fork failure")
+                super().start()
+                started.append(self)
+
+        fake = types.SimpleNamespace(Pipe=real.Pipe, Process=FailingSecondStart)
+        import repro.parallel.executors as executors_module
+
+        monkeypatch.setattr(
+            executors_module.multiprocessing, "get_context", lambda m: fake
+        )
+        dataset = _dataset(duration_s=2)
+        with pytest.raises(OSError):
+            MultiprocessingExecutor(_config(dataset), 3)
+        assert len(started) == 1
+        started[0].join(timeout=10)
+        assert not started[0].is_alive()
+
+    def test_close_idempotent_after_failure_and_normal_use(self):
+        dataset = _dataset(duration_s=2)
+        executor = MultiprocessingExecutor(_config(dataset), 2)
+        executor.close()
+        executor.close()  # second close is a no-op
+        with pytest.raises(RuntimeError):
+            executor.submit(0, StreamTuple(ts=1, values={"a1": 1}, stream=0))
