@@ -40,6 +40,7 @@ from .core.blocks import (
     BlockDecoder,
     BlockEncoder,
     ResultBlock,
+    StateBlock,
     TupleBlock,
 )
 from .core.kslack import KSlackBuffer
@@ -66,11 +67,14 @@ from .parallel import (
     TRANSPORT_BLOCKS,
     TRANSPORT_OBJECTS,
     KeyRouter,
+    MigrationSpec,
     MultiprocessingExecutor,
     PartitionedPipeline,
+    Rebalancer,
     SerialExecutor,
     ShardExecutor,
     ShardOutcome,
+    load_imbalance,
     run_partitioned,
 )
 from .join.ordering import IndexAwareOrder, ProbeOrderPolicy, SmallestWindowFirst
@@ -114,9 +118,11 @@ __all__ = [
     # parallel scale-out
     "PartitionedPipeline", "KeyRouter", "ShardExecutor", "SerialExecutor",
     "MultiprocessingExecutor", "ShardOutcome", "run_partitioned",
-    "TRANSPORT_BLOCKS", "TRANSPORT_OBJECTS",
+    "TRANSPORT_BLOCKS", "TRANSPORT_OBJECTS", "Rebalancer", "MigrationSpec",
+    "load_imbalance",
     # columnar block transport
-    "TupleBlock", "ResultBlock", "BlockEncoder", "BlockDecoder", "MISSING",
+    "TupleBlock", "ResultBlock", "StateBlock", "BlockEncoder", "BlockDecoder",
+    "MISSING",
     # quality
     "RecallMeter", "RecallMeasurement", "TruthIndex", "compute_truth",
     # streams

@@ -18,6 +18,10 @@ get their scaling from exactly this kind of cheap bulk transport:
   flat component-index array, and one :class:`TupleBlock` of the
   *distinct* component tuples (components repeat heavily across results;
   they are interned once and shared again after decode).
+* :class:`StateBlock` — the rebalancing path: the window + in-flight
+  state of migrated routing slots, shipped source worker → parent →
+  destination worker when the skew-aware router moves slots between
+  shards (see :mod:`repro.parallel.rebalancer`).
 
 Schema negotiation
 ------------------
@@ -192,6 +196,82 @@ class ResultBlock:
             f"ResultBlock(n={len(self.ts)}, arity={self.arity}, "
             f"distinct_components={len(self.components)})"
         )
+
+
+class StateBlock:
+    """Window + in-flight state of migrated routing slots, one hop.
+
+    The third block message (alongside :class:`TupleBlock` and
+    :class:`ResultBlock`): when the partitioned engine's rebalancer moves
+    virtual routing slots between shards, the source shard's state for
+    those slots crosses the parent twice — source worker → parent →
+    destination worker — as one ``StateBlock`` per destination.
+
+    ``window`` carries the tuples removed from the source's join windows
+    (per-window insertion order preserved, so re-inserting in sequence
+    reproduces probe candidate order) and ``pending`` the tuples still in
+    flight in the source's disorder-handling front.  Both are either raw
+    :class:`~repro.core.tuples.StreamTuple` lists (serial executor /
+    object transport) or :class:`TupleBlock` columns (block transport).
+    Unlike the steady-state tuple stream, state blocks are rare one-shot
+    messages, so each is self-contained: :func:`encode_state` uses fresh
+    encoders whose schemas travel inline, and :func:`decode_state` pairs
+    them with fresh decoders — no connection-level schema negotiation.
+    """
+
+    __slots__ = ("source", "dest", "slots", "window", "pending")
+
+    def __init__(
+        self,
+        source: int,
+        dest: int,
+        slots: Tuple[int, ...],
+        window,
+        pending,
+    ) -> None:
+        self.source = source
+        self.dest = dest
+        self.slots = slots
+        self.window = window
+        self.pending = pending
+
+    def __getstate__(self) -> Tuple:
+        return (self.source, self.dest, self.slots, self.window, self.pending)
+
+    def __setstate__(self, state: Tuple) -> None:
+        self.source, self.dest, self.slots, self.window, self.pending = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StateBlock({self.source}->{self.dest}, slots={self.slots}, "
+            f"window={len(self.window)}, pending={len(self.pending)})"
+        )
+
+
+def encode_state(
+    source: int,
+    dest: int,
+    slots: Tuple[int, ...],
+    window: Sequence[StreamTuple],
+    pending: Sequence[StreamTuple],
+) -> StateBlock:
+    """Pack a migration payload columnar-side for the pipe (see
+    :class:`StateBlock`)."""
+    return StateBlock(
+        source,
+        dest,
+        slots,
+        BlockEncoder().encode(window),
+        BlockEncoder().encode(pending),
+    )
+
+
+def decode_state(block: StateBlock) -> Tuple[List[StreamTuple], List[StreamTuple]]:
+    """Unpack a columnar :class:`StateBlock` into ``(window, pending)``."""
+    return (
+        BlockDecoder().decode(block.window),
+        BlockDecoder().decode(block.pending),
+    )
 
 
 class BlockEncoder:

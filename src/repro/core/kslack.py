@@ -20,7 +20,7 @@ the join operator for productivity profiling.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from .tuples import StreamTuple
 
@@ -141,6 +141,91 @@ class KSlackBuffer:
         self.max_observed_delay = max_delay
         self.tuples_seen += len(batch)
         return released
+
+    # ------------------------------------------------------------------
+    # state-migration hooks (repro.parallel rebalancing)
+    # ------------------------------------------------------------------
+
+    def advance_clock(self, ts: int) -> List[StreamTuple]:
+        """Advance the local current time ``iT`` to ``ts`` without a tuple.
+
+        Returns the tuples this releases, smallest timestamp first.  The
+        caller asserts that ``ts`` is a genuine arrival-time watermark —
+        i.e. that no future tuple of this stream will carry a timestamp
+        below ``ts - K`` that the buffer could still have re-ordered.
+        The partitioned engine's shard rebalancing uses this as the
+        barrier drain before window state migrates: the parent's global
+        arrival clock is such a watermark whenever disorder handling is
+        lossless (``K`` at least the realized maximum delay).  A clock
+        in the past is ignored (``iT`` never moves backwards).
+        """
+        if self._flushed:
+            raise RuntimeError(
+                "K-slack buffer already flushed; create a new instance"
+            )
+        if self._local_time is None or ts > self._local_time:
+            self._local_time = ts
+        return self._drain_ready()
+
+    def adopt(self, t: StreamTuple) -> None:
+        """Insert an already-annotated tuple migrated from a peer buffer.
+
+        Unlike :meth:`process` this neither advances the clock nor
+        re-annotates the delay (the tuple's annotation from its original
+        buffer is the true one) nor counts the tuple in the arrival
+        statistics — the originating buffer already did.  Deliberately
+        does **not** release anything either: migrated tuples arrive in
+        no particular order, and draining between insertions could hand
+        a higher-timestamped adoptee downstream before a lower one.
+        Adopt the whole batch, then call :meth:`drain_ready` once —
+        releases then come out in timestamp order as usual.
+        """
+        if self._flushed:
+            raise RuntimeError(
+                "K-slack buffer already flushed; create a new instance"
+            )
+        heapq.heappush(self._heap, (t.ts, self._tie, t))
+        self._tie += 1
+
+    def drain_ready(self) -> List[StreamTuple]:
+        """Release everything the current clock already permits.
+
+        The explicit companion of :meth:`adopt`: after a batch of
+        adoptions, one drain hands back — smallest timestamp first —
+        every buffered tuple with ``ts + K <= iT`` (possible when this
+        buffer's clock runs ahead of the migration source's).
+        """
+        if self._flushed:
+            raise RuntimeError(
+                "K-slack buffer already flushed; create a new instance"
+            )
+        return self._drain_ready()
+
+    def extract(
+        self, predicate: Callable[[StreamTuple], bool]
+    ) -> List[StreamTuple]:
+        """Remove and return buffered tuples matching ``predicate``.
+
+        Returned tuples come back in release (timestamp, then arrival)
+        order; the buffer keeps its clock and delay statistics — the
+        extracted tuples *did* arrive here, they just leave through the
+        migration path instead of the release path.  Used by shard
+        rebalancing to pull the in-flight tuples of moved key groups.
+        """
+        if self._flushed:
+            raise RuntimeError(
+                "K-slack buffer already flushed; create a new instance"
+            )
+        matched: List = []
+        kept: List = []
+        for entry in self._heap:
+            (matched if predicate(entry[2]) else kept).append(entry)
+        if not matched:
+            return []
+        heapq.heapify(kept)
+        self._heap = kept
+        matched.sort()
+        return [entry[2] for entry in matched]
 
     def _drain_ready(self) -> List[StreamTuple]:
         if self._local_time is None:

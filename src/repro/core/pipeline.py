@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..join.conditions import JoinCondition
 from ..join.mswj import MSWJOperator
@@ -229,7 +229,39 @@ ResultsCallback = Callable[[int, int], None]
 
 
 class QualityDrivenPipeline:
-    """The complete framework of paper Fig. 2 as a push-based operator."""
+    """The complete framework of paper Fig. 2 as a push-based operator.
+
+    One instance wires, per input stream, a
+    :class:`~repro.core.kslack.KSlackBuffer` (intra-stream disorder) into
+    a shared :class:`~repro.core.synchronizer.Synchronizer` (inter-stream
+    disorder), the :class:`~repro.join.mswj.MSWJOperator`, and the
+    management plane that adapts the buffer size K against the recall
+    requirement Γ.  Drive it in *arrival order*: :meth:`process` per raw
+    tuple (or :meth:`process_batch` per burst — sequence-identical, just
+    cheaper per tuple), then :meth:`flush` exactly once at end of input.
+
+    Parameters
+    ----------
+    config:
+        The :class:`PipelineConfig` — window sizes (which also fix the
+        stream count), join condition, recall target Γ, measurement
+        period P, adaptation interval L, and the buffer-size policy
+        (model-based by default; ``FixedKPolicy`` pins K, which makes
+        disorder handling lossless whenever K covers the realized
+        maximum delay).
+    on_adaptation:
+        Optional callback ``(pipeline, app_time_ms)`` fired right before
+        each adaptation step; the experiment harness hooks its γ(P)
+        measurements here.
+    on_results:
+        Optional callback ``(result_ts_ms, count)`` fired whenever the
+        join produces results.
+
+    The per-shard pipelines of the partitioned engine
+    (:mod:`repro.parallel`) are instances of this class; the
+    ``prepare_migration`` / ``adopt_migration`` pair is the shard-state
+    handoff its rebalancer drives.
+    """
 
     def __init__(
         self,
@@ -373,6 +405,131 @@ class QualityDrivenPipeline:
             outputs = self._merge(outputs, self._feed_join(emitted))
         outputs = self._merge(outputs, self._feed_join(self.synchronizer.flush()))
         return outputs
+
+    # ------------------------------------------------------------------
+    # shard-state migration (repro.parallel rebalancing)
+    # ------------------------------------------------------------------
+
+    def prepare_migration(
+        self,
+        classify: Callable[[StreamTuple], Optional[object]],
+        beacon_ts: int,
+        drain_floor_ts: Optional[int] = None,
+    ) -> Tuple[
+        Union[List[JoinResult], int],
+        Dict[object, List[StreamTuple]],
+        Dict[object, List[StreamTuple]],
+    ]:
+        """Drain to the barrier watermark, then carve out the state of
+        the tuples ``classify`` marks as migrating.
+
+        ``classify`` maps a tuple to its migration group (for the
+        partitioned engine: the destination shard) or ``None`` for
+        tuples that stay; it is invoked exactly once per live tuple.
+        Returns ``(outputs, window_groups, pending_groups)``:
+
+        * ``outputs`` — join results produced by the barrier drain (the
+          caller emits them exactly like :meth:`process` returns);
+        * ``window_groups`` — group → tuples removed from the join
+          windows, in per-window insertion order (re-inserting them in
+          sequence at the peer reproduces the probe candidate order);
+        * ``pending_groups`` — group → tuples still in flight in the
+          disorder-handling front, for re-buffering at the peer.
+
+        The barrier drain advances every K-slack clock to ``beacon_ts``
+        (the caller's global arrival clock) and force-drains the
+        Synchronizer down to ``min(beacon_ts, drain_floor_ts) - K``.
+        ``drain_floor_ts`` is the caller's per-stream progress bound
+        (minimum over streams of the maximum timestamp routed so far):
+        a stream may trail the others in timestamp — or be entirely
+        silent — while internally in order, and only the synchronizer's
+        completeness gate keeps such runs exact; since under lossless
+        disorder handling no future input of any stream sits more than
+        K below that stream's progress, the floored drain provably
+        never emits past what the gate could still be holding.  Every
+        still-pending tuple therefore sits *above* the drained
+        watermark — which is what lets the peer adopt the pending set
+        without ever presenting its join an out-of-order tuple.  The
+        drain changes only *when* tuples reach the join, never their
+        order, so the result sequence and join statistics are
+        unaffected (buffering-latency metrics and delay annotations can
+        shift, as tuples leave the buffers earlier than they would
+        have).
+        """
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        outputs = empty_outputs(self.config.collect_results)
+        for kslack in self.kslacks:
+            released = kslack.advance_clock(beacon_ts)
+            if released:
+                outputs = self._merge(outputs, self._route_to_join(released))
+        drain_base = beacon_ts
+        if drain_floor_ts is not None and drain_floor_ts < drain_base:
+            drain_base = drain_floor_ts
+        watermark = min(drain_base - kslack.k for kslack in self.kslacks)
+        emitted = self.synchronizer.drain_below(watermark)
+        if emitted:
+            outputs = self._merge(outputs, self._feed_join(emitted))
+
+        window_groups: Dict[object, List[StreamTuple]] = {}
+        pending_groups: Dict[object, List[StreamTuple]] = {}
+
+        def collect_into(groups):
+            def matches(t: StreamTuple) -> bool:
+                group = classify(t)
+                if group is None:
+                    return False
+                groups.setdefault(group, []).append(t)
+                return True
+
+            return matches
+
+        window_predicate = collect_into(window_groups)
+        for window in self.join.windows:
+            window.extract(window_predicate)
+        pending_predicate = collect_into(pending_groups)
+        for kslack in self.kslacks:
+            kslack.extract(pending_predicate)
+        # Load-bearing sweep: the floored drain routinely leaves tuples
+        # buffered between the progress floor and the beacon (any run
+        # where one stream trails the others in timestamp); migrating
+        # keys among them must travel as pending state, or they would
+        # later join against windows whose partners moved away.
+        self.synchronizer.extract(pending_predicate)
+        return outputs, window_groups, pending_groups
+
+    def adopt_migration(
+        self,
+        window_tuples: Sequence[StreamTuple],
+        pending_tuples: Sequence[StreamTuple],
+    ) -> Union[List[JoinResult], int]:
+        """Absorb state carved out of a peer by :meth:`prepare_migration`.
+
+        Window tuples are inserted straight into the join windows (they
+        were already disorder-handled and probed at the peer — only
+        their *future* partner role migrates); pending tuples re-enter
+        the K-slack front with their original delay annotations and
+        continue through the normal release path.  Returns any join
+        results the adoption makes available immediately (possible when
+        this pipeline's clocks run ahead of the peer's).
+        """
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        windows = self.join.windows
+        for t in window_tuples:
+            windows[t.stream].insert(t)
+        kslacks = self.kslacks
+        # Two-phase: buffer every migrated tuple first, drain after —
+        # pending state arrives in no particular order, and releasing
+        # between insertions could emit a higher timestamp before a
+        # lower one on the same stream.
+        for t in pending_tuples:
+            kslacks[t.stream].adopt(t)
+        released: List[StreamTuple] = []
+        if pending_tuples:
+            for kslack in kslacks:
+                released.extend(kslack.drain_ready())
+        return self._route_to_join(released)
 
     # ------------------------------------------------------------------
     # internals

@@ -26,7 +26,7 @@ input.  Both preserve the ordering invariants.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+from typing import Callable, List, Sequence
 
 from .tuples import StreamTuple
 
@@ -126,6 +126,67 @@ class Synchronizer:
         if self._counts[stream] == 0:
             self._gating -= 1
         return self._drain_while_complete()
+
+    # ------------------------------------------------------------------
+    # state-migration hooks (repro.parallel rebalancing)
+    # ------------------------------------------------------------------
+
+    def drain_below(self, watermark_ts: int) -> List[StreamTuple]:
+        """Emit every buffered tuple with ``ts <= watermark_ts``, in order.
+
+        The completeness gate (Alg. 1 line 4) is conservative: it holds a
+        leading stream's tuples until every other stream has buffered
+        content, because for endless streams nothing else bounds what a
+        lagging stream may still deliver.  A caller that *does* hold such
+        a bound — the partitioned engine's rebalancing barrier, where the
+        parent's global arrival clock guarantees no future release below
+        ``watermark_ts`` — may force the buffer out early.  Emission stays
+        timestamp-ordered and advances ``T_sync`` exactly as a regular
+        drain would, so downstream ordering invariants are preserved.
+        """
+        heap = self._heap
+        if not heap or heap[0][0] > watermark_ts:
+            return []
+        emitted: List[StreamTuple] = []
+        pop = heapq.heappop
+        while heap and heap[0][0] <= watermark_ts:
+            ts, _, t = pop(heap)
+            self._pop_count(t.stream)
+            if ts > self._t_sync:
+                self._t_sync = ts
+            emitted.append(t)
+        return emitted
+
+    def extract(
+        self, predicate: Callable[[StreamTuple], bool]
+    ) -> List[StreamTuple]:
+        """Remove and return buffered tuples matching ``predicate``.
+
+        Returned in timestamp (then insertion) order.  ``T_sync`` and the
+        gating bookkeeping are maintained; the extracted tuples simply
+        leave through the migration path instead of being emitted.  This
+        is a load-bearing leg of the rebalancing barrier: the barrier's
+        :meth:`drain_below` is floored at the cross-stream progress
+        bound, so any tuple buffered between that floor and the beacon —
+        routine whenever one stream trails the others in timestamp —
+        stays here and must migrate through this sweep (it also covers
+        leftovers under heterogeneous per-stream ``K``).
+        """
+        matched: List = []
+        kept: List = []
+        for entry in self._heap:
+            (matched if predicate(entry[2]) else kept).append(entry)
+        if not matched:
+            return []
+        heapq.heapify(kept)
+        self._heap = kept
+        matched.sort()
+        extracted = []
+        for entry in matched:
+            t = entry[2]
+            self._pop_count(t.stream)
+            extracted.append(t)
+        return extracted
 
     def flush(self) -> List[StreamTuple]:
         """Emit the whole buffer in timestamp order (end of all input)."""

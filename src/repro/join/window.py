@@ -25,7 +25,7 @@ meaning requires updating those call sites.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.tuples import StreamTuple
 
@@ -88,6 +88,37 @@ class SlidingWindow:
                     if not bucket:
                         del index[value]
         return removed
+
+    def extract(
+        self, predicate: Callable[[StreamTuple], bool]
+    ) -> List[StreamTuple]:
+        """Remove and return live tuples matching ``predicate``.
+
+        Returned in slot-id (= insertion) order — the same order
+        :meth:`lookup` would have yielded them — so a peer window that
+        re-inserts the extracted tuples in sequence reproduces the exact
+        per-bucket candidate order, which is what keeps result
+        *sequences* (not just sets) stable across a shard-state
+        migration.  Heap entries of removed slots go stale and are
+        skipped lazily by :meth:`expire_before` / :meth:`min_ts`, exactly
+        like ordinary removals.
+        """
+        removed: List[int] = []
+        extracted: List[StreamTuple] = []
+        for slot, t in self._slots.items():
+            if predicate(t):
+                removed.append(slot)
+                extracted.append(t)
+        for slot in removed:
+            t = self._slots.pop(slot)
+            for attr, index in self._indexes.items():
+                value = t.get(attr)
+                bucket = index.get(value)
+                if bucket is not None:
+                    bucket.pop(slot, None)
+                    if not bucket:
+                        del index[value]
+        return extracted
 
     def clear(self) -> None:
         self._slots.clear()

@@ -2,10 +2,12 @@
 
 Scale-out layer over the single-operator framework: a
 :class:`~repro.parallel.router.KeyRouter` hash-partitions the input by
-equi-join key, each shard runs a complete
-:class:`~repro.core.pipeline.QualityDrivenPipeline`, and two
-interchangeable executors drive the shards — in-process serial
-(deterministic) or per-shard worker processes with batched IPC.  See
+equi-join key through a virtual-slot table, each shard runs a complete
+:class:`~repro.core.pipeline.QualityDrivenPipeline`, two interchangeable
+executors drive the shards — in-process serial (deterministic) or
+per-shard worker processes with batched IPC — and an optional
+:class:`~repro.parallel.rebalancer.Rebalancer` repairs load skew at
+runtime by migrating slot state between shards.  See
 :mod:`repro.parallel.pipeline` for the exactness semantics.
 """
 
@@ -15,21 +17,31 @@ from .executors import (
     SerialExecutor,
     ShardExecutor,
 )
-from .pipeline import PartitionedPipeline, run_partitioned
-from .router import KeyRouter, stable_hash
+from .pipeline import (
+    DEFAULT_REBALANCE_INTERVAL,
+    PartitionedPipeline,
+    run_partitioned,
+)
+from .rebalancer import MigrationSpec, Rebalancer, load_imbalance
+from .router import DEFAULT_SLOTS_PER_SHARD, KeyRouter, stable_hash
 from .shard import TRANSPORT_BLOCKS, TRANSPORT_OBJECTS, TRANSPORTS, ShardOutcome
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_REBALANCE_INTERVAL",
+    "DEFAULT_SLOTS_PER_SHARD",
     "KeyRouter",
+    "MigrationSpec",
     "MultiprocessingExecutor",
     "PartitionedPipeline",
+    "Rebalancer",
     "SerialExecutor",
     "ShardExecutor",
     "ShardOutcome",
     "TRANSPORT_BLOCKS",
     "TRANSPORT_OBJECTS",
     "TRANSPORTS",
+    "load_imbalance",
     "run_partitioned",
     "stable_hash",
 ]

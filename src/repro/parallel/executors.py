@@ -16,8 +16,10 @@
 
 Both present the same lifecycle so
 :class:`~repro.parallel.pipeline.PartitionedPipeline` treats them
-uniformly: ``submit(shard, tuple)`` per routed tuple in arrival order,
-then ``finish()`` exactly once.
+uniformly: ``submit(shard, tuple)`` / ``submit_batch(shard, batch)`` per
+routed tuple or burst in arrival order, optional ``migrate``/``adopt``
+barrier pairs when the rebalancer moves slot state between shards, then
+``finish()`` exactly once.
 """
 
 from __future__ import annotations
@@ -25,21 +27,26 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from ..core.blocks import PICKLE_PROTOCOL, BlockDecoder, BlockEncoder
+from ..core.blocks import PICKLE_PROTOCOL, BlockDecoder, BlockEncoder, StateBlock
 from ..core.pipeline import PipelineConfig, QualityDrivenPipeline
 from ..core.tuples import StreamTuple
+from .rebalancer import MigrationSpec
 from .shard import (
     MSG_ABORT,
     MSG_BATCH,
     MSG_FLUSH,
+    MSG_MIGRATE_IN,
+    MSG_MIGRATE_OUT,
     TRANSPORT_BLOCKS,
     TRANSPORT_OBJECTS,
     TRANSPORTS,
     Outputs,
     ShardOutcome,
+    adopt_shard_state,
     empty_outputs,
+    extract_shard_state,
     merge_outputs,
     shard_worker,
 )
@@ -67,6 +74,11 @@ class ShardExecutor(ABC):
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.config = config
         self.num_shards = num_shards
+        #: Tuples submitted per shard — the executor-side load counters
+        #: (the router keeps the slot-grained ones the rebalancer plans
+        #: from; these are the coarse cross-check and broadcast-mode
+        #: fallback, where no routing counters exist).
+        self.submitted: List[int] = [0] * num_shards
 
     @abstractmethod
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
@@ -84,6 +96,31 @@ class ShardExecutor(ABC):
         for t in batch:
             outputs = merge_outputs(collect, outputs, self.submit(shard, t))
         return outputs
+
+    def migrate(
+        self, shard: int, spec: MigrationSpec
+    ) -> Tuple[Outputs, List[StateBlock]]:
+        """Source leg of the rebalancing barrier: drain ``shard`` to the
+        spec's beacon and carve out the moved slots' state.
+
+        Returns ``(outputs, states)`` — results the barrier drain makes
+        available immediately (empty under the process executor, which
+        defers all results to :meth:`finish`) and one
+        :class:`~repro.core.blocks.StateBlock` per destination shard.
+        Executors that do not implement the drain/handoff protocol keep
+        this default, which refuses rebalancing.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} does not support state migration"
+        )
+
+    def adopt(self, shard: int, state: StateBlock) -> Outputs:
+        """Destination leg of the barrier: absorb migrated state into
+        ``shard``; returns immediately-available results (serial only).
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} does not support state migration"
+        )
 
     @abstractmethod
     def finish(self) -> List[ShardOutcome]:
@@ -107,10 +144,23 @@ class SerialExecutor(ShardExecutor):
         ]
 
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
+        self.submitted[shard] += 1
         return self.pipelines[shard].process(t)
 
     def submit_batch(self, shard: int, batch: Sequence[StreamTuple]) -> Outputs:
+        self.submitted[shard] += len(batch)
         return self.pipelines[shard].process_batch(batch)
+
+    def migrate(
+        self, shard: int, spec: MigrationSpec
+    ) -> Tuple[Outputs, List[StateBlock]]:
+        """In-process barrier: drain + extract synchronously, unencoded."""
+        return extract_shard_state(
+            self.pipelines[shard], shard, spec, encode=False
+        )
+
+    def adopt(self, shard: int, state: StateBlock) -> Outputs:
+        return adopt_shard_state(self.pipelines[shard], state, decode=False)
 
     def finish(self) -> List[ShardOutcome]:
         return [
@@ -200,6 +250,7 @@ class MultiprocessingExecutor(ShardExecutor):
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
         if self._finished:
             raise RuntimeError("executor already finished")
+        self.submitted[shard] += 1
         batch = self._batches[shard]
         batch.append(t)
         if len(batch) >= self.batch_size:
@@ -220,6 +271,7 @@ class MultiprocessingExecutor(ShardExecutor):
         """
         if self._finished:
             raise RuntimeError("executor already finished")
+        self.submitted[shard] += len(batch)
         pending = self._batches[shard]
         pending.extend(batch)
         size = self.batch_size
@@ -245,6 +297,52 @@ class MultiprocessingExecutor(ShardExecutor):
         else:
             payload = pending[start:stop]
         self._send(shard, (MSG_BATCH, payload))
+
+    def _flush_pending(self, shard: int) -> None:
+        """Ship whatever sits in ``shard``'s parent-side batch buffer.
+
+        The rebalancing barrier calls this before a migration message so
+        the worker has consumed every tuple routed to it first — pipe
+        ordering then guarantees the barrier lands at a consistent
+        point in the shard's input sequence.
+        """
+        pending = self._batches[shard]
+        if pending:
+            self._dispatch(shard, pending, 0, len(pending))
+            self._batches[shard] = []
+
+    def migrate(
+        self, shard: int, spec: MigrationSpec
+    ) -> Tuple[Outputs, List[StateBlock]]:
+        """Synchronous barrier leg: request extraction, block on reply.
+
+        Blocking on the worker's ``("state", ...)`` reply is what makes
+        the whole rebalance a barrier — no new tuple is routed anywhere
+        until the source has drained and handed its state over.  Drain
+        results stay in the worker's accumulator (returned at
+        :meth:`finish`), so the outputs half of the return is empty.
+        """
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        self._flush_pending(shard)
+        self._send(shard, (MSG_MIGRATE_OUT, spec))
+        try:
+            tag, payload = self._connections[shard].recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard {shard} worker died during state migration"
+            ) from None
+        if tag != "state":
+            raise RuntimeError(f"shard {shard} state migration failed: {payload}")
+        return empty_outputs(self.config.collect_results), payload
+
+    def adopt(self, shard: int, state: StateBlock) -> Outputs:
+        """Forward migrated state; the worker absorbs it in pipe order."""
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        self._flush_pending(shard)
+        self._send(shard, (MSG_MIGRATE_IN, state))
+        return empty_outputs(self.config.collect_results)
 
     def _send(self, shard: int, message) -> None:
         # Serialize exactly once (protocol 5) and ship raw bytes.  A

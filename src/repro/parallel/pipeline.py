@@ -31,12 +31,25 @@ Semantics
 
 Results arrive through :meth:`PartitionedPipeline.process` (whatever the
 executor makes available immediately) and :meth:`PartitionedPipeline.flush`
-(the rest, merged across shards in timestamp order); metrics merge via
-:meth:`~repro.core.pipeline.PipelineMetrics.merge`.
+(the rest, merged across shards in canonical ``(ts, result key)`` order);
+metrics merge via :meth:`~repro.core.pipeline.PipelineMetrics.merge`.
+
+Skew handling
+-------------
+Exact routing goes through a virtual-slot table
+(:mod:`repro.parallel.router`), and ``rebalance=True`` arms a
+:class:`~repro.parallel.rebalancer.Rebalancer` that repairs shard-load
+skew at runtime by reassigning slots and migrating their window +
+in-flight state between shards over a synchronous drain barrier
+(:class:`~repro.core.blocks.StateBlock` messages under the process
+executor).  Under lossless disorder handling the rebalanced run's
+merged result sequence and summed join statistics are byte-identical to
+static routing — rebalancing is purely a load-balance/performance knob.
 """
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.pipeline import PipelineConfig, PipelineMetrics
@@ -48,7 +61,13 @@ from .executors import (
     SerialExecutor,
     ShardExecutor,
 )
-from .router import KeyRouter
+from .rebalancer import (
+    DEFAULT_MIN_SAMPLE,
+    DEFAULT_THRESHOLD,
+    MigrationSpec,
+    Rebalancer,
+)
+from .router import DEFAULT_SLOTS_PER_SHARD, KeyRouter
 from .shard import (
     TRANSPORT_BLOCKS,
     Outputs,
@@ -56,6 +75,12 @@ from .shard import (
     empty_outputs,
     merge_outputs,
 )
+
+#: Routed tuples between rebalance checks (``rebalance_interval``
+#: default).  Each check is one pass over the slot counters; an actual
+#: migration costs a synchronous drain barrier, so the cadence leans
+#: coarse.
+DEFAULT_REBALANCE_INTERVAL = 4_096
 
 #: An executor name or a factory ``(config, num_shards) -> ShardExecutor``.
 ExecutorSpec = Union[str, Callable[[PipelineConfig, int], ShardExecutor]]
@@ -84,6 +109,27 @@ class PartitionedPipeline:
         :class:`~repro.core.blocks.ResultBlock` messages) or
         :data:`~repro.parallel.shard.TRANSPORT_OBJECTS` (legacy
         per-object pickling).
+    rebalance:
+        Enable skew-aware slot rebalancing (default off).  Every
+        ``rebalance_interval`` routed tuples a
+        :class:`~repro.parallel.rebalancer.Rebalancer` inspects the
+        router's per-slot load counters; when the max/mean shard-load
+        imbalance exceeds ``rebalance_threshold`` it recomputes the
+        slot→shard table (greedy LPT) and migrates the moved slots'
+        window + in-flight state between shards through a synchronous
+        drain barrier.  A pure performance knob: under lossless
+        disorder handling the merged result sequence and summed join
+        statistics are identical to static routing.  Requires an
+        exactly partitionable condition (broadcast routing is rejected)
+        and an executor implementing the migration protocol (both
+        built-ins do).
+    rebalance_interval:
+        Routed tuples between rebalance checks.
+    slots_per_shard:
+        Virtual routing slots per shard (table size =
+        ``slots_per_shard × num_shards``); migration granularity.
+    rebalance_threshold:
+        Max/mean shard-load ratio that triggers a plan.
     """
 
     def __init__(
@@ -93,12 +139,40 @@ class PartitionedPipeline:
         executor: ExecutorSpec = "serial",
         batch_size: int = DEFAULT_BATCH_SIZE,
         transport: str = TRANSPORT_BLOCKS,
+        rebalance: bool = False,
+        rebalance_interval: int = DEFAULT_REBALANCE_INTERVAL,
+        slots_per_shard: int = DEFAULT_SLOTS_PER_SHARD,
+        rebalance_threshold: float = DEFAULT_THRESHOLD,
     ) -> None:
         self.config = config
         self.num_shards = num_shards
         self.router = KeyRouter(
-            config.condition, len(config.window_sizes_ms), num_shards
+            config.condition,
+            len(config.window_sizes_ms),
+            num_shards,
+            slots_per_shard=slots_per_shard,
         )
+        # Rebalancing is validated before the executor exists: a rejected
+        # configuration (broadcast condition, bad interval) must not leak
+        # already-started worker processes.
+        if rebalance_interval < 1:
+            raise ValueError(
+                f"rebalance_interval must be >= 1, got {rebalance_interval}"
+            )
+        if rebalance:
+            # Raises for broadcast conditions: there is no partition key,
+            # hence no slots to move (broadcast rejects rebalancing
+            # instead of silently ignoring it).  The planner's minimum
+            # sample never exceeds the check interval: counters decay at
+            # every check, so a small interval with the default minimum
+            # would silently never plan.
+            self._rebalancer: Optional[Rebalancer] = Rebalancer(
+                self.router,
+                threshold=rebalance_threshold,
+                min_sample=min(DEFAULT_MIN_SAMPLE, rebalance_interval),
+            )
+        else:
+            self._rebalancer = None
         if executor == "serial":
             self.executor: ShardExecutor = SerialExecutor(config, num_shards)
         elif executor == "process":
@@ -111,11 +185,31 @@ class PartitionedPipeline:
             raise ValueError(
                 f"executor must be 'serial', 'process' or a factory, got {executor!r}"
             )
+        if self._rebalancer is not None and (
+            type(self.executor).migrate is ShardExecutor.migrate
+            or type(self.executor).adopt is ShardExecutor.adopt
+        ):
+            # Fail fast, like the broadcast check: without this, a custom
+            # executor lacking the migration protocol would die with all
+            # its processed state only when the first rebalance fires.
+            name = type(self.executor).__name__
+            self.executor.close()
+            raise ValueError(
+                f"rebalance=True requires an executor implementing the "
+                f"state-migration protocol (migrate/adopt); {name} keeps "
+                f"the non-migrating defaults"
+            )
         # Broadcast replicates the full join on every shard; emitting from
         # shard 0 alone keeps the output multiset exact.
         self._emit_shards = (
             frozenset(range(num_shards)) if self.router.exact else frozenset((0,))
         )
+        self._rebalance_interval = rebalance_interval
+        self._routed_since_check = 0
+        #: Rebalance plans applied (table rewrites with state migration).
+        self.rebalances = 0
+        #: Total slots whose shard changed across all rebalances.
+        self.slots_moved = 0
         self._flushed = False
         self._outcomes: Optional[List[ShardOutcome]] = None
 
@@ -189,6 +283,10 @@ class PartitionedPipeline:
             produced = self.executor.submit(shard, t)
             if shard in self._emit_shards:
                 outputs = merge_outputs(collect, outputs, produced)
+        if self._rebalancer is not None:
+            self._routed_since_check += 1
+            if self._routed_since_check >= self._rebalance_interval:
+                outputs = merge_outputs(collect, outputs, self._run_rebalance())
         return outputs
 
     def process_batch(self, batch: Sequence[StreamTuple]) -> Outputs:
@@ -226,10 +324,62 @@ class PartitionedPipeline:
             produced = submit_batch(shard, shard_batch)
             if shard in emit_shards:
                 outputs = merge_outputs(collect, outputs, produced)
+        if self._rebalancer is not None:
+            self._routed_since_check += len(batch)
+            if self._routed_since_check >= self._rebalance_interval:
+                outputs = merge_outputs(collect, outputs, self._run_rebalance())
+        return outputs
+
+    def _run_rebalance(self) -> Outputs:
+        """One rebalance check, and — when a plan lands — its execution.
+
+        The migration barrier is synchronous and strictly ordered: every
+        source shard is drained and its moved-slot state extracted
+        *before* any destination adopts, and the router's slot table only
+        flips once all state has landed — so no tuple can race its own
+        window state across the parent.  Results the barrier produces
+        (source drains, destination adoptions under the serial executor)
+        are returned like any :meth:`process` output.
+        """
+        self._routed_since_check = 0
+        collect = self.config.collect_results
+        outputs = empty_outputs(collect)
+        moves = self._rebalancer.plan()
+        if not moves:
+            return outputs
+        router = self.router
+        by_source: Dict[int, Dict[int, int]] = {}
+        for slot, dest in moves.items():
+            by_source.setdefault(router.slot_table[slot], {})[slot] = dest
+        states = []
+        for source in sorted(by_source):
+            spec = MigrationSpec(
+                moves=by_source[source],
+                attr_by_stream=router._attr_by_stream,
+                num_slots=router.num_slots,
+                beacon_ts=router.watermark_ts,
+                drain_floor_ts=min(router.stream_progress_ts),
+            )
+            drained, source_states = self.executor.migrate(source, spec)
+            outputs = merge_outputs(collect, outputs, drained)
+            states.extend(source_states)
+        for state in states:
+            adopted = self.executor.adopt(state.dest, state)
+            outputs = merge_outputs(collect, outputs, adopted)
+        router.reassign(moves)
+        self.rebalances += 1
+        self.slots_moved += len(moves)
         return outputs
 
     def flush(self) -> Outputs:
-        """Flush every shard; return remaining results merged in ts order."""
+        """Flush every shard; return remaining results merged in ts order.
+
+        Timestamp ties break on the results' canonical component
+        identity (:meth:`~repro.core.tuples.JoinResult.key`), not on
+        shard order: which shard produced a result is a routing detail
+        (and under rebalancing changes mid-run), so the merged sequence
+        is identical for any shard count and any slot-table history.
+        """
         collect = self.config.collect_results
         if self._flushed:
             return empty_outputs(collect)
@@ -244,7 +394,12 @@ class PartitionedPipeline:
             results: List[JoinResult] = []
             for outcome in emitted:
                 results.extend(outcome.outputs)  # type: ignore[arg-type]
-            results.sort(key=lambda r: r.ts)  # stable: shard order on ties
+            # Components are stream-position-indexed and seq is unique
+            # per stream, so the per-component seq tuple is the same
+            # total order as the full JoinResult.key() identity — at a
+            # fraction of the key-building cost on large result sets.
+            seq_of = attrgetter("seq")
+            results.sort(key=lambda r: (r.ts, *map(seq_of, r.components)))
             return results
         return sum(outcome.outputs for outcome in emitted)  # type: ignore[misc]
 
@@ -280,6 +435,10 @@ def run_partitioned(
     batch_size: int = DEFAULT_BATCH_SIZE,
     chunk_size: Optional[int] = None,
     transport: str = TRANSPORT_BLOCKS,
+    rebalance: bool = False,
+    rebalance_interval: int = DEFAULT_REBALANCE_INTERVAL,
+    slots_per_shard: int = DEFAULT_SLOTS_PER_SHARD,
+    rebalance_threshold: float = DEFAULT_THRESHOLD,
 ) -> tuple:
     """Replay a finite dataset through a :class:`PartitionedPipeline`.
 
@@ -292,8 +451,10 @@ def run_partitioned(
     (:meth:`~PartitionedPipeline.process`); a positive ``chunk_size``
     slices the arrival stream into bursts of that many tuples and drives
     the batched engine (:meth:`~PartitionedPipeline.process_batch`).
-    ``transport`` picks the ``"process"`` executor's wire format (see
-    :class:`PartitionedPipeline`).
+    ``transport`` picks the ``"process"`` executor's wire format and
+    ``rebalance`` / ``rebalance_interval`` / ``slots_per_shard`` /
+    ``rebalance_threshold`` enable and tune skew-aware slot rebalancing
+    (see :class:`PartitionedPipeline` for both).
     """
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -303,6 +464,10 @@ def run_partitioned(
         executor=executor,
         batch_size=batch_size,
         transport=transport,
+        rebalance=rebalance,
+        rebalance_interval=rebalance_interval,
+        slots_per_shard=slots_per_shard,
+        rebalance_threshold=rebalance_threshold,
     ) as pipeline:
         collect = config.collect_results
         outputs = empty_outputs(collect)

@@ -1,4 +1,4 @@
-"""Hash routing of input tuples to join shards.
+"""Hash routing of input tuples to join shards, through a slot table.
 
 Partitioned execution of an equi-join is exact when every tuple can be
 routed by a key value that all components of any join result share (the
@@ -13,6 +13,18 @@ attributes, cross joins) fall back to *broadcast*: every shard receives
 every tuple and maintains the full join state, which gains no partition
 parallelism — callers should prefer one shard there.
 
+Routing is indirect: ``stable_hash(key) → slot → shard``, through a
+*slot table* of ``slots_per_shard × num_shards`` virtual slots (the
+consistent-slot scheme of partitioned stores, sized so each shard owns
+many slots).  The initial table assigns ``slot % num_shards``, which —
+because the slot count is a multiple of the shard count — makes the
+key→shard map *identical* to direct ``stable_hash(key) % num_shards``
+hashing.  The indirection exists so a
+:class:`~repro.parallel.rebalancer.Rebalancer` can repair load skew at
+slot granularity: reassigning a slot moves one small key cohort between
+shards, and the router's per-slot routed-tuple counters are exactly the
+load signal the rebalancer plans from.
+
 Hashing must agree across worker processes and across runs, so the
 router never uses the builtin ``hash`` (randomized per process for
 strings); see :func:`stable_hash`.
@@ -26,6 +38,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.tuples import StreamTuple
 from ..join.conditions import JoinCondition
+
+#: Virtual slots per shard in the routing table.  64 keeps the table a
+#: few hundred entries at typical shard counts — cheap to scan for the
+#: rebalancer, fine-grained enough that one slot holds ~1/64th of a
+#: shard's key space.
+DEFAULT_SLOTS_PER_SHARD = 64
 
 
 def stable_hash(value: object) -> int:
@@ -69,13 +87,33 @@ class KeyRouter:
     ``attributes`` is the per-stream key assignment (``None`` when the
     condition is not hash-partitionable); :attr:`exact` tells callers
     whether sharded execution partitions the result space exactly.
+
+    Exact routing goes through the virtual-slot table (module
+    docstring): :attr:`slot_table` maps each of
+    ``slots_per_shard × num_shards`` slots to a shard, and routing a
+    tuple increments its slot's entry in :attr:`slot_loads` (the
+    rebalancer's planning signal, decayed by it between plans), the
+    owning shard's entry in :attr:`shard_loads` (cumulative, for
+    imbalance reporting), and advances :attr:`watermark_ts` (the global
+    arrival clock the migration barrier drains to) and
+    :attr:`stream_progress_ts` (the per-stream progress that floors the
+    barrier's forced drain).  Broadcast routing bypasses the table
+    entirely — there is no key, hence no slot.
     """
 
     def __init__(
-        self, condition: JoinCondition, num_streams: int, num_shards: int
+        self,
+        condition: JoinCondition,
+        num_streams: int,
+        num_shards: int,
+        slots_per_shard: int = DEFAULT_SLOTS_PER_SHARD,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if slots_per_shard < 1:
+            raise ValueError(
+                f"slots_per_shard must be >= 1, got {slots_per_shard}"
+            )
         self.num_shards = num_shards
         self.num_streams = num_streams
         self.attributes: Optional[Dict[int, str]] = condition.partition_attributes(
@@ -89,6 +127,31 @@ class KeyRouter:
             if self.attributes is None
             else tuple(self.attributes.get(s) for s in range(num_streams))
         )
+        #: Number of virtual slots; a multiple of ``num_shards`` so the
+        #: identity table reproduces direct modulo hashing exactly.
+        self.num_slots = slots_per_shard * num_shards
+        #: slot → shard.  Starts as ``slot % num_shards``; the
+        #: rebalancer rewrites entries via :meth:`reassign`.
+        self.slot_table: List[int] = [
+            slot % num_shards for slot in range(self.num_slots)
+        ]
+        #: Routed tuples per slot since the rebalancer last decayed them.
+        self.slot_loads: List[int] = [0] * self.num_slots
+        #: Cumulative routed tuples per shard (imbalance reporting).
+        self.shard_loads: List[int] = [0] * num_shards
+        #: Max ``max(arrival, ts)`` over all routed tuples — the global
+        #: arrival clock; the migration barrier's beacon.
+        self.watermark_ts = 0
+        #: Per-stream maximum routed timestamp.  ``min(stream_progress_ts)``
+        #: is the completeness-gate progress bound: under lossless
+        #: disorder handling (per-stream K covering realized delays) no
+        #: future synchronizer input of stream *s* can carry a timestamp
+        #: below ``stream_progress_ts[s] - K``, so the migration
+        #: barrier's forced drain — floored at ``min(progress) - K`` —
+        #: provably never emits past what any shard's completeness gate
+        #: could still be holding (a silent or timestamp-trailing stream
+        #: pins the floor down, exactly as it pins the gate).
+        self.stream_progress_ts: List[int] = [0] * num_streams
 
     @property
     def exact(self) -> bool:
@@ -101,22 +164,59 @@ class KeyRouter:
             raise ValueError("condition has no partition key; tuples broadcast")
         return t.get(self.attributes[t.stream])
 
+    def slot_of(self, t: StreamTuple) -> int:
+        """The tuple's virtual routing slot (requires :attr:`exact`)."""
+        return stable_hash(self.key_of(t)) % self.num_slots
+
     def shard_of(self, t: StreamTuple) -> Optional[int]:
         """Target shard for ``t``, or ``None`` meaning broadcast.
 
         A missing key attribute reads as ``None`` and hashes like any
         other value — consistent with ``EquiPredicate``, where ``None``
         only matches ``None``, so all such tuples meet in one shard.
+        Pure query: unlike :meth:`route` it updates no load counters.
         """
         if self.attributes is None:
             return None
-        return stable_hash(self.key_of(t)) % self.num_shards
+        return self.slot_table[self.slot_of(t)]
+
+    def reassign(self, moves: Dict[int, int]) -> None:
+        """Apply a rebalancing plan: rewrite ``slot → shard`` entries.
+
+        The caller (:class:`~repro.parallel.pipeline.PartitionedPipeline`)
+        must have migrated the moved slots' shard state first — the
+        router only changes where *future* tuples go.
+        """
+        for slot, shard in moves.items():
+            if not 0 <= slot < self.num_slots:
+                raise ValueError(f"slot {slot} outside [0, {self.num_slots})")
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"shard {shard} outside [0, {self.num_shards})"
+                )
+            self.slot_table[slot] = shard
 
     def route(self, t: StreamTuple) -> Tuple[int, ...]:
-        """Shards that must receive ``t`` (one, or all when broadcasting)."""
-        shard = self.shard_of(t)
-        if shard is None:
+        """Shards that must receive ``t`` (one, or all when broadcasting).
+
+        The single-tuple sibling of :meth:`route_batch`: updates the same
+        slot/shard load counters and the arrival watermark.
+        """
+        if self.attributes is None:
             return self._all_shards
+        stream = t.stream
+        slot = stable_hash(t.get(self.attributes[stream])) % self.num_slots
+        self.slot_loads[slot] += 1
+        shard = self.slot_table[slot]
+        self.shard_loads[shard] += 1
+        ts = t.ts
+        arrival = t.arrival
+        if arrival < ts:
+            arrival = ts
+        if arrival > self.watermark_ts:
+            self.watermark_ts = arrival
+        if ts > self.stream_progress_ts[stream]:
+            self.stream_progress_ts[stream] = ts
         return (shard,)
 
     def route_batch(
@@ -131,9 +231,9 @@ class KeyRouter:
         ``append`` methods are pre-bound, and the dominant numeric-key
         case inlines the :func:`stable_hash` fast path (plain ``hash``,
         which ints can never reach the NaN branch of), so each tuple
-        pays one dict probe, one hash, one modulo and one append —
-        no per-tuple method dispatch.  Shard assignment is identical to
-        :meth:`shard_of` for every tuple.
+        pays one dict probe, one hash, one modulo, one slot-table load
+        and the counter updates — no per-tuple method dispatch.  Shard
+        assignment is identical to :meth:`shard_of` for every tuple.
         """
         if self.attributes is None:
             return None
@@ -143,7 +243,12 @@ class KeyRouter:
         appends = [shard_list.append for shard_list in per_shard]
         attr_of = self._attr_by_stream
         num_streams = self.num_streams
-        num_shards = self.num_shards
+        num_slots = self.num_slots
+        table = self.slot_table
+        loads = self.slot_loads
+        totals = self.shard_loads
+        watermark = self.watermark_ts
+        progress = self.stream_progress_ts
         _hash = stable_hash
         for t in batch:
             stream = t.stream
@@ -153,7 +258,20 @@ class KeyRouter:
                 )
             value = t.values.get(attr_of[stream])
             if type(value) is int:
-                appends[hash(value) % num_shards](t)
+                slot = hash(value) % num_slots
             else:
-                appends[_hash(value) % num_shards](t)
+                slot = _hash(value) % num_slots
+            loads[slot] += 1
+            shard = table[slot]
+            totals[shard] += 1
+            ts = t.ts
+            arrival = t.arrival
+            if arrival < ts:
+                arrival = ts
+            if arrival > watermark:
+                watermark = arrival
+            if ts > progress[stream]:
+                progress[stream] = ts
+            appends[shard](t)
+        self.watermark_ts = watermark
         return per_shard

@@ -18,9 +18,15 @@ and are re-exported here for the rest of the parallel layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..core.blocks import BlockDecoder, BlockEncoder
+from ..core.blocks import (
+    BlockDecoder,
+    BlockEncoder,
+    StateBlock,
+    decode_state,
+    encode_state,
+)
 from ..core.pipeline import (
     Outputs,
     PipelineConfig,
@@ -29,6 +35,9 @@ from ..core.pipeline import (
     empty_outputs,
     merge_outputs,
 )
+from ..core.tuples import StreamTuple
+from .rebalancer import MigrationSpec
+from .router import stable_hash
 
 
 @dataclass
@@ -47,6 +56,16 @@ class ShardOutcome:
 MSG_BATCH = "batch"
 MSG_FLUSH = "flush"
 MSG_ABORT = "abort"
+#: Rebalancing barrier, source side: payload is a
+#: :class:`~repro.parallel.rebalancer.MigrationSpec`; the worker drains
+#: to the beacon, carves out the moved slots' state, and replies
+#: ``("state", [StateBlock, ...])`` — the only mid-stream reply in the
+#: protocol (the parent blocks on it, making the barrier synchronous).
+MSG_MIGRATE_OUT = "migrate_out"
+#: Rebalancing barrier, destination side: payload is one
+#: :class:`~repro.core.blocks.StateBlock`; no reply (pipe ordering
+#: guarantees the adoption lands after every batch routed before it).
+MSG_MIGRATE_IN = "migrate_in"
 
 # Wire formats of the multiprocessing executor's tuple transfer.
 #: Columnar :class:`~repro.core.blocks.TupleBlock` messages with a
@@ -61,6 +80,72 @@ TRANSPORT_BLOCKS = "blocks"
 TRANSPORT_OBJECTS = "objects"
 
 TRANSPORTS = (TRANSPORT_BLOCKS, TRANSPORT_OBJECTS)
+
+
+def slot_classifier(spec: MigrationSpec) -> Callable[[StreamTuple], Optional[int]]:
+    """Build ``tuple → destination shard (or None)`` from a migration spec.
+
+    Mirrors the router's slot computation exactly — same per-stream key
+    attributes, same :func:`~repro.parallel.router.stable_hash`, same
+    slot count — so a tuple is classified as moving iff the parent's
+    router will route its key to the new shard afterwards.
+    """
+    attr_of = spec.attr_by_stream
+    num_slots = spec.num_slots
+    moves = spec.moves
+
+    def classify(t: StreamTuple) -> Optional[int]:
+        return moves.get(
+            stable_hash(t.values.get(attr_of[t.stream])) % num_slots
+        )
+
+    return classify
+
+
+def extract_shard_state(
+    pipeline: QualityDrivenPipeline,
+    shard: int,
+    spec: MigrationSpec,
+    encode: bool,
+) -> Tuple[Outputs, List[StateBlock]]:
+    """Source side of the rebalancing barrier, executor-agnostic.
+
+    Runs the pipeline's beacon drain + extraction
+    (:meth:`~repro.core.pipeline.QualityDrivenPipeline.prepare_migration`)
+    and groups the carved-out state into one :class:`StateBlock` per
+    destination shard (columnar-encoded when ``encode``, for the block
+    transport's pipe).  Returns ``(drain outputs, state blocks)``.
+    """
+    outputs, per_dest_windows, per_dest_pending = pipeline.prepare_migration(
+        slot_classifier(spec), spec.beacon_ts, spec.drain_floor_ts
+    )
+    slots_by_dest: Dict[int, List[int]] = {}
+    for slot, dest in sorted(spec.moves.items()):
+        slots_by_dest.setdefault(dest, []).append(slot)
+    states: List[StateBlock] = []
+    for dest, slots in sorted(slots_by_dest.items()):
+        window = per_dest_windows.get(dest, [])
+        moved = per_dest_pending.get(dest, [])
+        if encode:
+            states.append(
+                encode_state(shard, dest, tuple(slots), window, moved)
+            )
+        else:
+            states.append(
+                StateBlock(shard, dest, tuple(slots), window, moved)
+            )
+    return outputs, states
+
+
+def adopt_shard_state(
+    pipeline: QualityDrivenPipeline, state: StateBlock, decode: bool
+) -> Outputs:
+    """Destination side of the rebalancing barrier, executor-agnostic."""
+    if decode:
+        window_tuples, pending = decode_state(state)
+    else:
+        window_tuples, pending = state.window, state.pending
+    return pipeline.adopt_migration(window_tuples, pending)
 
 
 def shard_worker(
@@ -83,6 +168,14 @@ def shard_worker(
     runs; an explicit message rather than pipe EOF because under the
     ``fork`` start method sibling workers inherit copies of earlier pipe
     ends, so a parent-side close alone does not reach every child.
+
+    Two rebalancing messages may interleave with the batch stream:
+    ``(MSG_MIGRATE_OUT, MigrationSpec)`` drains the pipeline to the
+    spec's beacon, extracts the moved slots' state, and replies
+    ``("state", [StateBlock, ...])`` — the barrier's synchronous leg;
+    ``(MSG_MIGRATE_IN, StateBlock)`` adopts migrated state with no
+    reply.  Results produced by either leg join the worker's output
+    accumulator like any batch results.
     """
     try:
         pipeline = QualityDrivenPipeline(config)
@@ -95,6 +188,19 @@ def shard_worker(
                 return
             if tag == MSG_FLUSH:
                 break
+            if tag == MSG_MIGRATE_OUT:
+                drained, states = extract_shard_state(
+                    pipeline, shard, payload, encode=decoder is not None
+                )
+                outputs = merge_outputs(collect, outputs, drained)
+                conn.send(("state", states))
+                continue
+            if tag == MSG_MIGRATE_IN:
+                adopted = adopt_shard_state(
+                    pipeline, payload, decode=decoder is not None
+                )
+                outputs = merge_outputs(collect, outputs, adopted)
+                continue
             if decoder is not None:
                 # Lazy decode: blocks materialize tuples here, right at
                 # the point of consumption — the pipe and the parent

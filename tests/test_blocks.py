@@ -323,12 +323,14 @@ class TestTransportInvariance:
             dataset, _config(dataset), shards, executor="process",
             transport=TRANSPORT_BLOCKS,
         )
-        if shards == 1:
-            assert _sequence(blocks) == _sequence(serial)
-        else:
-            # Serial returns immediate results grouped by shard; the
-            # process executor defers everything to the ts-ordered flush.
-            assert sorted(_sequence(blocks)) == sorted(_sequence(serial))
+        # Serial returns immediate results in per-shard production order;
+        # the process executor defers everything to flush, which emits
+        # the canonical (ts, key) order — identical multiset, and equal
+        # sequences once both sides are canonicalized.
+        assert sorted(_sequence(blocks)) == sorted(_sequence(serial))
+        # Everything arrives at flush under the process executor, so its
+        # whole sequence is the canonical order itself.
+        assert _sequence(blocks) == sorted(_sequence(blocks))
         assert s_blocks == s_serial
         assert _metric_fields(m_blocks) == _metric_fields(m_serial)
 
