@@ -27,6 +27,8 @@ from repro.experiments.configs import (
     ExperimentConfig,
     d3_experiment,
     d4_experiment,
+    nexmark_experiment,
+    nexmark_pab_experiment,
     soccer_experiment,
 )
 from repro.experiments.report import format_table, print_and_save
@@ -34,6 +36,31 @@ from repro.experiments.runner import RunResult, make_policy, run_experiment
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
 PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "") not in ("", "0", "false")
+
+
+def bench_scale() -> float:
+    """The current ``REPRO_BENCH_SCALE``, read per call.
+
+    Unlike the import-time :data:`BENCH_SCALE` constant, this re-reads
+    the environment, so ``conftest.py``'s ``--bench-scale`` option (set
+    in ``pytest_configure``, i.e. possibly after this module was first
+    imported by an earlier test session) and CI steps that export the
+    variable between pytest invocations are both honoured.  New benches
+    (soak, NEXMark) must size workloads through this or :func:`scaled`
+    so CI can run them at 1/10 scale without editing gate constants.
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(base: int, floor: int = 1) -> int:
+    """Scale an integer workload knob by ``REPRO_BENCH_SCALE``.
+
+    ``floor`` guards knobs with structural minima (a window that must
+    hold at least a few tuples, a phase that must be non-empty): the CI
+    smoke scale shrinks the run without degenerating the scenario.  Gate
+    *constants* stay untouched — only workload sizes scale.
+    """
+    return max(floor, int(base * bench_scale()))
 
 #: Default pipeline parameters at bench scale.  The paper uses P = 60 s,
 #: L = 1 s, b = g = 10 ms; with runs of ~90 s a 60-second measurement
@@ -54,8 +81,10 @@ def experiment(name: str) -> ExperimentConfig:
             "soccer": soccer_experiment,
             "d3": d3_experiment,
             "d4": d4_experiment,
+            "nexmark": nexmark_experiment,
+            "nexmark-pab": nexmark_pab_experiment,
         }
-        _cache[name] = factories[name](scale=BENCH_SCALE, paper_scale=PAPER_SCALE)
+        _cache[name] = factories[name](scale=bench_scale(), paper_scale=PAPER_SCALE)
     return _cache[name]
 
 

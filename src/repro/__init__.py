@@ -90,9 +90,25 @@ from .streams.disorder import (
     ZipfDelayModel,
 )
 from .streams.generators import make_d3_syn, make_d4_syn
+from .streams.nexmark import (
+    NexmarkConfig,
+    PhaseSpec,
+    auction_bid_query,
+    default_phases,
+    make_auction_bids,
+    make_person_auction_bid,
+    person_auction_bid_query,
+)
 from .streams.soccer import SoccerConfig, make_soccer_dataset, player_distance
 from .streams.source import Dataset, from_tuple_specs
 from .streams.zipf import BoundedZipf, ZipfValueSampler
+from .workloads import (
+    Workload,
+    WorkloadCaps,
+    auction_bids_workload,
+    person_auction_bid_workload,
+)
+from .workloads.soak import SoakConfig, SoakHarness, SoakReport, run_soak
 
 __version__ = "1.1.0"
 
@@ -130,4 +146,10 @@ __all__ = [
     "ConstantDelayModel", "ZipfDelayModel", "BurstyDelayModel",
     "PhasedDelayModel", "BoundedZipf", "ZipfValueSampler", "make_d3_syn",
     "make_d4_syn", "SoccerConfig", "make_soccer_dataset", "player_distance",
+    # NEXMark-style workloads & soak harness
+    "NexmarkConfig", "PhaseSpec", "default_phases", "make_auction_bids",
+    "make_person_auction_bid", "auction_bid_query", "person_auction_bid_query",
+    "Workload", "WorkloadCaps", "auction_bids_workload",
+    "person_auction_bid_workload", "SoakConfig", "SoakHarness", "SoakReport",
+    "run_soak",
 ]

@@ -29,7 +29,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--experiment",
-        choices=("soccer", "d3", "d4"),
+        choices=("soccer", "d3", "d4", "nexmark", "nexmark-pab"),
         default="d3",
         help="(dataset, query) pair (default: d3)",
     )

@@ -32,6 +32,13 @@ from ..join.conditions import (
 )
 from ..quality.truth import TruthResult, compute_truth
 from ..streams.generators import make_d3_syn, make_d4_syn
+from ..streams.nexmark import (
+    NexmarkConfig,
+    auction_bid_query,
+    make_auction_bids,
+    make_person_auction_bid,
+    person_auction_bid_query,
+)
 from ..streams.soccer import SoccerConfig, make_soccer_dataset, player_distance
 from ..streams.source import Dataset
 
@@ -187,14 +194,87 @@ def d4_experiment(
     )
 
 
+# ----------------------------------------------------------------------
+# NEXMark-style auction workloads (extension family; ISSUE 5)
+# ----------------------------------------------------------------------
+
+def _nexmark_config(
+    scale: float, seed: int, paper_scale: bool, bid_channels: int = 2
+) -> NexmarkConfig:
+    """Shared NEXMark shape: more/longer phases at paper scale.
+
+    Bench scale runs 4 phases (steady → burst → silence → drift) of
+    ``8 s × scale``; paper scale stretches to 8 phases of 30 s so every
+    archetype recurs and the drift rotation visits the whole domain.
+    """
+    if paper_scale:
+        return NexmarkConfig(
+            num_bid_channels=bid_channels,
+            num_phases=8,
+            phase_duration_ms=30_000,
+            seed=seed,
+        )
+    return NexmarkConfig(
+        num_bid_channels=bid_channels,
+        num_phases=4,
+        phase_duration_ms=max(1_000, int(8_000 * scale)),
+        seed=seed,
+    )
+
+
+def nexmark_experiment(
+    scale: float = 1.0,
+    seed: int = 7,
+    paper_scale: bool = False,
+    bid_channels: int = 2,
+) -> ExperimentConfig:
+    """(NEXMark-AB, Qab): auction announcements ⋈ every bid channel.
+
+    Chain equi-join on ``auction`` over ``1 + bid_channels`` streams with
+    1-second windows; a single equi component covers all streams, so the
+    partitioned engine routes exactly and the rebalancer is available —
+    the heterogeneous-rate, drifting-skew complement to (D×3syn, Q×3).
+    """
+    config = _nexmark_config(scale, seed, paper_scale, bid_channels)
+    return ExperimentConfig(
+        name="(NEXMark-AB, Qab)",
+        dataset_factory=lambda: make_auction_bids(config),
+        window_sizes_ms=[seconds(1)] * (1 + bid_channels),
+        condition=auction_bid_query(bid_channels),
+    )
+
+
+def nexmark_pab_experiment(
+    scale: float = 1.0,
+    seed: int = 7,
+    paper_scale: bool = False,
+) -> ExperimentConfig:
+    """(NEXMark-PAB, Qpab): Person ⋈ Auction ⋈ Bid, two equi components.
+
+    ``Person.person = Auction.seller AND Auction.auction = Bid.auction``
+    is *not* exactly hash-partitionable (no single component covers all
+    three streams), so the partitioned engine broadcasts — the NEXMark
+    workload for the non-partitionable regime.
+    """
+    config = _nexmark_config(scale, seed, paper_scale)
+    return ExperimentConfig(
+        name="(NEXMark-PAB, Qpab)",
+        dataset_factory=lambda: make_person_auction_bid(config),
+        window_sizes_ms=[seconds(1)] * 3,
+        condition=person_auction_bid_query(),
+    )
+
+
 def all_experiments(
     scale: float = 1.0, paper_scale: bool = False
 ) -> Dict[str, ExperimentConfig]:
-    """The paper's three (dataset, query) pairs, keyed by short name."""
+    """The paper's three (dataset, query) pairs plus the NEXMark family."""
     return {
         "soccer": soccer_experiment(scale=scale, paper_scale=paper_scale),
         "d3": d3_experiment(scale=scale, paper_scale=paper_scale),
         "d4": d4_experiment(scale=scale, paper_scale=paper_scale),
+        "nexmark": nexmark_experiment(scale=scale, paper_scale=paper_scale),
+        "nexmark-pab": nexmark_pab_experiment(scale=scale, paper_scale=paper_scale),
     }
 
 

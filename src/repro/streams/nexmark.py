@@ -1,0 +1,525 @@
+"""NEXMark-style auction workload streams (Person / Auction / Bid).
+
+The paper validates quality-driven K-slack only on its synthetic D×3syn /
+D×4syn datasets and the soccer traces.  This module opens the scenario
+axes those workloads never exercise — heterogeneous per-stream rates,
+*drifting* key skew, and burst/silence phases — using the entity model of
+the NEXMark benchmark (Tucker et al.): **Person** rows open accounts,
+**Auction** rows announce items for sale, **Bid** rows reference open
+auctions.
+
+Everything is emitted as plain :class:`~repro.streams.source.Dataset`
+objects, so every existing layer (the single
+:class:`~repro.core.pipeline.QualityDrivenPipeline`, the partitioned
+engine with either executor/transport, and the rebalancer) runs the
+workloads unchanged.
+
+Streams and queries
+-------------------
+Two stream layouts are provided:
+
+* :func:`make_auction_bids` — one Auction stream plus ``num_bid_channels``
+  Bid streams (think web/mobile ingest paths), every stream carrying the
+  ``auction`` attribute.  The matching :func:`auction_bid_query` is a
+  chain equi-join on ``auction``: its single equi component covers all
+  streams, so :meth:`~repro.join.conditions.JoinCondition.partition_attributes`
+  yields ``{stream: "auction"}`` — the partitioned engine hash-routes
+  exactly and the rebalancer is available.
+* :func:`make_person_auction_bid` — the classic three-entity layout
+  (Person, Auction, Bid).  :func:`person_auction_bid_query` joins
+  ``Person.person = Auction.seller`` and ``Auction.auction = Bid.auction``:
+  two *disjoint* equi components, neither covering all three streams, so
+  ``partition_attributes`` returns ``None`` and the partitioned engine
+  falls back to broadcast — the workload that deliberately exercises the
+  non-partitionable regime.
+
+Phases
+------
+A workload is a sequence of :class:`PhaseSpec` entries.  Each phase sets,
+for its duration, a per-stream arrival-rate multiplier (``1.0`` steady,
+``> 1`` burst, ``0.0`` silence), the Zipf skew of the auction-id draw,
+and a rotation offset of the auction-id domain — rotating the domain
+moves the *hot* ids, which is how key-skew drift is modelled (PanJoin,
+arXiv:1811.05065, evaluates adaptive stream joins under exactly this
+kind of shifting key distribution).  :func:`default_phases` cycles
+through steady → burst → silence → drift archetypes.
+
+Disorder reuses :mod:`repro.streams.disorder`: each stream draws tuple
+delays from a bounded :class:`~repro.streams.disorder.ZipfDelayModel`
+(the paper's model), with per-stream skews.
+
+Determinism: all randomness derives from
+:func:`~repro.streams.seeding.derived_rng`, so a ``(config, seed)`` pair
+reproduces the identical dataset across processes and interpreter runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.tuples import StreamTuple
+from ..join.conditions import EquiPredicate, JoinCondition, equi_join_chain
+from .disorder import ZipfDelayModel
+from .seeding import derived_rng
+from .source import Dataset, merge_by_arrival
+from .zipf import ZipfValueSampler
+
+#: Default delay-model parameters (paper-style bounded Zipf, scaled to the
+#: second-length phases these workloads run at).
+DEFAULT_MAX_DELAY_MS = 500
+DEFAULT_DELAY_SKEW = 2.5
+#: Burst phases multiply the Bid-channel arrival rate by this factor.
+BURST_MULTIPLIER = 3.0
+#: Drift phases raise the auction-id skew to this value.
+DRIFT_SKEW = 1.5
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One workload phase: rates, key skew, and hot-set position.
+
+    Parameters
+    ----------
+    name:
+        Label used by reports (``steady`` / ``burst`` / ``silence`` /
+        ``drift`` / anything custom).
+    duration_ms:
+        Phase length in application/arrival milliseconds.
+    rate:
+        Per-stream arrival-rate multipliers; empty means ``1.0``
+        everywhere.  ``0.0`` silences a stream for the whole phase,
+        ``> 1`` bursts it.
+    value_skew:
+        Zipf skew of the auction-id draw during this phase (``0`` =
+        uniform).
+    hot_offset:
+        Rotation of the auction-id domain.  Rank 1 of the Zipf draw maps
+        to the *first* domain value, so changing the offset moves which
+        ids are hot — key-skew drift without changing the marginal
+        distribution shape.
+    """
+
+    name: str
+    duration_ms: int
+    rate: Tuple[float, ...] = ()
+    value_skew: float = 1.0
+    hot_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_ms <= 0:
+            raise ValueError(
+                f"phase duration must be positive, got {self.duration_ms}"
+            )
+        if any(r < 0 for r in self.rate):
+            raise ValueError("rate multipliers must be non-negative")
+
+    def rate_of(self, stream: int) -> float:
+        """The stream's multiplier (1.0 when ``rate`` is unspecified)."""
+        if not self.rate:
+            return 1.0
+        return self.rate[stream]
+
+
+def default_phases(
+    num_phases: int,
+    phase_duration_ms: int,
+    num_streams: int,
+    auction_domain: int,
+) -> List[PhaseSpec]:
+    """The canonical phase schedule: steady → burst → silence → drift.
+
+    * **steady** — all streams at nominal rate, skew 1.0.
+    * **burst** — every Bid channel (streams ``>= 1``) at
+      :data:`BURST_MULTIPLIER` × nominal.
+    * **silence** — one Bid channel (rotating across silence phases)
+      emits nothing; the synchronizer's completeness gate must hold the
+      other streams for it.
+    * **drift** — the hot auction ids move (domain rotation advances by
+      a third of the domain) and the skew rises to :data:`DRIFT_SKEW`.
+
+    The cycle repeats for ``num_phases`` phases; the rotation offset
+    accumulates so later drift phases keep moving the hot set.  With a
+    single stream (no Bid channels) the silence archetype degenerates to
+    steady — silencing the only stream would make the phase empty.
+    """
+    if num_phases < 1:
+        raise ValueError(f"num_phases must be >= 1, got {num_phases}")
+    if num_streams < 1:
+        raise ValueError(f"num_streams must be >= 1, got {num_streams}")
+    phases: List[PhaseSpec] = []
+    offset = 0
+    silence_turn = 0
+    archetypes = ("steady", "burst", "silence", "drift")
+    for index in range(num_phases):
+        kind = archetypes[index % len(archetypes)]
+        rate: Tuple[float, ...] = ()
+        skew = 1.0
+        if kind == "burst" and num_streams > 1:
+            rate = (1.0,) + (BURST_MULTIPLIER,) * (num_streams - 1)
+        elif kind == "silence" and num_streams > 1:
+            silent = 1 + (silence_turn % (num_streams - 1))
+            silence_turn += 1
+            rate = tuple(
+                0.0 if stream == silent else 1.0
+                for stream in range(num_streams)
+            )
+        elif kind == "drift":
+            offset = (offset + max(1, auction_domain // 3)) % auction_domain
+            skew = DRIFT_SKEW
+        phases.append(
+            PhaseSpec(
+                name=kind,
+                duration_ms=phase_duration_ms,
+                rate=rate,
+                value_skew=skew,
+                hot_offset=offset,
+            )
+        )
+    return phases
+
+
+@dataclass
+class NexmarkConfig:
+    """Configuration of a NEXMark-style workload.
+
+    The stream layout is fixed by the factory used
+    (:func:`make_auction_bids` or :func:`make_person_auction_bid`); this
+    config sets rates, domains, disorder, and the phase schedule.
+    """
+
+    #: Bid ingest channels (streams beyond the Auction stream) for the
+    #: auction-bids layout.
+    num_bid_channels: int = 2
+    #: Phase schedule; ``None`` derives :func:`default_phases` from
+    #: ``num_phases`` × ``phase_duration_ms``.
+    phases: Optional[List[PhaseSpec]] = None
+    num_phases: int = 3
+    phase_duration_ms: int = 8_000
+    seed: int = 7
+    #: Active auction ids (the join-key domain).
+    auction_domain: int = 32
+    #: Person/seller/bidder id domain.
+    person_domain: int = 100
+    #: Nominal inter-arrival gaps per entity stream (ms).
+    auction_gap_ms: int = 40
+    bid_gap_ms: int = 20
+    person_gap_ms: int = 80
+    #: Bounded-Zipf delay model (reused from ``streams.disorder``).
+    max_delay_ms: int = DEFAULT_MAX_DELAY_MS
+    #: Per-stream delay skews; ``None`` gives the Auction stream 3.0 and
+    #: every Bid channel :data:`DEFAULT_DELAY_SKEW` (more disorder on the
+    #: high-rate streams, like the paper's per-stream ``z_i^d``).
+    delay_skews: Optional[Sequence[float]] = None
+    price_domain: int = 1_000
+
+    def __post_init__(self) -> None:
+        if self.num_bid_channels < 1:
+            raise ValueError(
+                f"num_bid_channels must be >= 1, got {self.num_bid_channels}"
+            )
+        if self.auction_domain < 1:
+            raise ValueError(
+                f"auction_domain must be >= 1, got {self.auction_domain}"
+            )
+        if min(self.auction_gap_ms, self.bid_gap_ms, self.person_gap_ms) < 1:
+            raise ValueError("inter-arrival gaps must be >= 1 ms")
+        if self.max_delay_ms < 0:
+            raise ValueError(
+                f"max_delay_ms must be non-negative, got {self.max_delay_ms}"
+            )
+
+    def resolved_phases(self, num_streams: int) -> List[PhaseSpec]:
+        """The explicit schedule, or the default one for this shape."""
+        if self.phases is not None:
+            for phase in self.phases:
+                if phase.rate and len(phase.rate) != num_streams:
+                    raise ValueError(
+                        f"phase {phase.name!r} sets {len(phase.rate)} rate "
+                        f"multipliers for {num_streams} streams"
+                    )
+            return list(self.phases)
+        return default_phases(
+            self.num_phases,
+            self.phase_duration_ms,
+            num_streams,
+            self.auction_domain,
+        )
+
+    def duration_ms(self, num_streams: int) -> int:
+        return sum(p.duration_ms for p in self.resolved_phases(num_streams))
+
+    def delay_skew_of(self, stream: int) -> float:
+        if self.delay_skews is not None:
+            return self.delay_skews[stream]
+        return 3.0 if stream == 0 else DEFAULT_DELAY_SKEW
+
+
+class _DriftingKeySampler:
+    """Zipf draw over a domain whose rotation/skew change per phase."""
+
+    def __init__(self, domain: Sequence[int], rng: random.Random) -> None:
+        self._domain = list(domain)
+        self._rng = rng
+        self._sampler: Optional[ZipfValueSampler] = None
+        self._position: Optional[Tuple[float, int]] = None
+
+    def enter_phase(self, phase: PhaseSpec) -> None:
+        offset = phase.hot_offset % len(self._domain)
+        position = (phase.value_skew, offset)
+        if position == self._position:
+            return
+        rotated = self._domain[offset:] + self._domain[:offset]
+        self._sampler = ZipfValueSampler(rotated, phase.value_skew, self._rng)
+        self._position = position
+
+    def sample(self) -> int:
+        assert self._sampler is not None, "enter_phase() not called"
+        return self._sampler.sample()
+
+
+def _generate_phased_stream(
+    stream_index: int,
+    base_gap_ms: int,
+    phases: Sequence[PhaseSpec],
+    key_sampler: _DriftingKeySampler,
+    payload_fn,
+    delay_model: ZipfDelayModel,
+) -> List[StreamTuple]:
+    """One stream's arrival-ordered tuples across the phase schedule.
+
+    The arrival clock is continuous across phases; a silenced phase
+    simply advances it without emitting.  Timestamps are
+    ``arrival - delay`` clamped at 0, exactly like the paper generators.
+    """
+    tuples: List[StreamTuple] = []
+    seq = 0
+    phase_start = 0
+    for phase in phases:
+        phase_end = phase_start + phase.duration_ms
+        multiplier = phase.rate_of(stream_index)
+        if multiplier > 0:
+            key_sampler.enter_phase(phase)
+            gap = max(1, int(round(base_gap_ms / multiplier)))
+            arrival = phase_start
+            while arrival + gap <= phase_end:
+                arrival += gap
+                delay = delay_model.sample(arrival)
+                ts = max(0, arrival - delay)
+                values = payload_fn(key_sampler)
+                tuples.append(
+                    StreamTuple(
+                        ts=ts,
+                        values=values,
+                        stream=stream_index,
+                        seq=seq,
+                        arrival=arrival,
+                    )
+                )
+                seq += 1
+        phase_start = phase_end
+    return tuples
+
+
+def _delay_model(config: NexmarkConfig, stream: int) -> ZipfDelayModel:
+    step = min(config.auction_gap_ms, config.bid_gap_ms, 10)
+    return ZipfDelayModel(
+        config.max_delay_ms,
+        skew=config.delay_skew_of(stream),
+        step=max(1, step),
+        rng=derived_rng(config.seed, "nexmark-delay", stream),
+    )
+
+
+# ----------------------------------------------------------------------
+# Auction × Bid-channels layout (exactly partitionable)
+# ----------------------------------------------------------------------
+
+def make_auction_bids(config: NexmarkConfig) -> Dataset:
+    """Auction stream + ``num_bid_channels`` Bid streams.
+
+    Stream 0 announces auctions (``auction``, ``seller``, ``category``);
+    streams ``1..n`` are Bid ingest channels (``auction``, ``bidder``,
+    ``price``).  Every stream carries ``auction`` drawn from the same
+    drifting-Zipf key distribution, so :func:`auction_bid_query` joins
+    bids on the same item across channels with their announcement.
+    """
+    num_streams = 1 + config.num_bid_channels
+    phases = config.resolved_phases(num_streams)
+    domain = list(range(1, config.auction_domain + 1))
+    streams: List[List[StreamTuple]] = []
+    for stream in range(num_streams):
+        values_rng = derived_rng(config.seed, "nexmark-ab", stream)
+        key_sampler = _DriftingKeySampler(domain, values_rng)
+        if stream == 0:
+            def payload(sampler, rng=values_rng, cfg=config):
+                return {
+                    "auction": sampler.sample(),
+                    "seller": rng.randint(1, cfg.person_domain),
+                    "category": rng.randint(1, 10),
+                }
+            gap = config.auction_gap_ms
+        else:
+            def payload(sampler, rng=values_rng, cfg=config):
+                return {
+                    "auction": sampler.sample(),
+                    "bidder": rng.randint(1, cfg.person_domain),
+                    "price": rng.randint(1, cfg.price_domain),
+                }
+            gap = config.bid_gap_ms
+        streams.append(
+            _generate_phased_stream(
+                stream, gap, phases, key_sampler, payload,
+                _delay_model(config, stream),
+            )
+        )
+    rates = [1000.0 / config.auction_gap_ms] + [
+        1000.0 / config.bid_gap_ms
+    ] * config.num_bid_channels
+    return Dataset(
+        merge_by_arrival(streams),
+        num_streams=num_streams,
+        name=f"nexmark-ab{config.num_bid_channels}",
+        nominal_rates=rates,
+    )
+
+
+def auction_bid_query(num_bid_channels: int = 2) -> JoinCondition:
+    """Chain equi-join on ``auction`` across the announcement + channels.
+
+    One equi component covers all ``1 + num_bid_channels`` streams, so
+    ``partition_attributes`` yields ``{stream: "auction"}`` — exact hash
+    partitioning, rebalancer available.
+
+    >>> auction_bid_query(2).partition_attributes(3)
+    {0: 'auction', 1: 'auction', 2: 'auction'}
+    """
+    return equi_join_chain("auction", 1 + num_bid_channels)
+
+
+# ----------------------------------------------------------------------
+# Person × Auction × Bid layout (broadcast regime)
+# ----------------------------------------------------------------------
+
+def make_person_auction_bid(config: NexmarkConfig) -> Dataset:
+    """The classic three-entity layout: Person, Auction, Bid.
+
+    Stream 0: Person (``person``, ``city``); stream 1: Auction
+    (``auction``, ``seller``); stream 2: Bid (``auction``, ``bidder``,
+    ``price``).  Sellers/bidders are drawn Zipf-skewed from the person
+    domain so the Person⋈Auction side has genuine selectivity skew.
+    """
+    num_streams = 3
+    phases = config.resolved_phases(num_streams)
+    auction_domain = list(range(1, config.auction_domain + 1))
+    person_domain = list(range(1, config.person_domain + 1))
+    streams: List[List[StreamTuple]] = []
+    for stream, gap in enumerate(
+        (config.person_gap_ms, config.auction_gap_ms, config.bid_gap_ms)
+    ):
+        values_rng = derived_rng(config.seed, "nexmark-pab", stream)
+        person_sampler = ZipfValueSampler(person_domain, 1.0, values_rng)
+        key_sampler = _DriftingKeySampler(
+            person_domain if stream == 0 else auction_domain, values_rng
+        )
+        if stream == 0:
+            def payload(sampler, rng=values_rng):
+                return {"person": sampler.sample(), "city": rng.randint(1, 20)}
+        elif stream == 1:
+            def payload(sampler, people=person_sampler):
+                return {"auction": sampler.sample(), "seller": people.sample()}
+        else:
+            def payload(sampler, people=person_sampler, rng=values_rng,
+                        cfg=config):
+                return {
+                    "auction": sampler.sample(),
+                    "bidder": people.sample(),
+                    "price": rng.randint(1, cfg.price_domain),
+                }
+        streams.append(
+            _generate_phased_stream(
+                stream, gap, phases, key_sampler, payload,
+                _delay_model(config, stream),
+            )
+        )
+    rates = [
+        1000.0 / config.person_gap_ms,
+        1000.0 / config.auction_gap_ms,
+        1000.0 / config.bid_gap_ms,
+    ]
+    return Dataset(
+        merge_by_arrival(streams),
+        num_streams=num_streams,
+        name="nexmark-pab",
+        nominal_rates=rates,
+    )
+
+
+def person_auction_bid_query() -> JoinCondition:
+    """``Person.person = Auction.seller AND Auction.auction = Bid.auction``.
+
+    Two disjoint equi components — ``{(0, person), (1, seller)}`` and
+    ``{(1, auction), (2, auction)}`` — neither covering all three
+    streams, so there is no single attribute whose hash co-partitions
+    every result:
+
+    >>> person_auction_bid_query().partition_attributes(3) is None
+    True
+
+    The partitioned engine therefore broadcasts (shard 0 emits); this is
+    the deliberate non-partitionable NEXMark workload.
+    """
+    return JoinCondition(
+        [
+            EquiPredicate(0, "person", 1, "seller"),
+            EquiPredicate(1, "auction", 2, "auction"),
+        ]
+    )
+
+
+# ----------------------------------------------------------------------
+# workload introspection helpers (used by the soak harness & benches)
+# ----------------------------------------------------------------------
+
+def phase_boundaries_ms(config: NexmarkConfig, num_streams: int) -> List[int]:
+    """Cumulative phase end times (arrival ms), one per phase."""
+    boundaries: List[int] = []
+    total = 0
+    for phase in config.resolved_phases(num_streams):
+        total += phase.duration_ms
+        boundaries.append(total)
+    return boundaries
+
+
+def peak_rates_per_ms(
+    config: NexmarkConfig, base_gaps_ms: Sequence[int]
+) -> List[float]:
+    """Per-stream worst-case arrival rates (tuples/ms) over all phases."""
+    num_streams = len(base_gaps_ms)
+    phases = config.resolved_phases(num_streams)
+    rates: List[float] = []
+    for stream, gap in enumerate(base_gaps_ms):
+        peak = max((phase.rate_of(stream) for phase in phases), default=1.0)
+        rates.append(peak / gap if peak > 0 else 1.0 / gap)
+    return rates
+
+
+def max_stall_ms(config: NexmarkConfig, num_streams: int) -> int:
+    """Longest consecutive silence of any one stream (ms).
+
+    While a stream is silent the synchronizer's completeness gate
+    buffers every other stream — this bound feeds the soak harness's
+    analytic pending-memory cap.
+    """
+    phases = config.resolved_phases(num_streams)
+    worst = 0
+    for stream in range(num_streams):
+        run = 0
+        for phase in phases:
+            if phase.rate_of(stream) == 0:
+                run += phase.duration_ms
+                worst = max(worst, run)
+            else:
+                run = 0
+    return worst

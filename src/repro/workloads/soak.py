@@ -1,0 +1,595 @@
+"""Deterministic soak & differential-oracle harness.
+
+Replays a seeded NEXMark-style workload (:mod:`repro.workloads`) for N
+phases through a *bank* of pipeline variants — the single-shard serial
+reference, partitioned runs at several shard counts, and a rebalanced
+run — while checking four invariants:
+
+1. **subset** — every produced result is a true result
+   (produced ⊆ true against
+   :class:`~repro.quality.truth.TruthIndex` keys), checked on each
+   phase's freshly produced results and on the terminal flush.  The
+   true result set holds distinct results, so a *duplicate* produced
+   result also violates the (multiset) subset relation and is counted
+   here.
+2. **recall** — per phase, the *distinct* results whose timestamps fall
+   in the phase's range must reach the configured recall requirement
+   (distinct, so duplicates cannot mask dropped results); the harness
+   runs under *lossless* settings (fixed K covering the realized
+   maximum delay), so the expectation is exactly 1.0.
+3. **identity** — the canonical merged output (the byte serialization of
+   the ``(ts, result key)`` sequence) must be identical across shard
+   counts 1/2/4 and between static and rebalanced routing.  This is the
+   differential oracle: any divergence in routing, transport, migration
+   or merge logic shows up as a byte mismatch.
+4. **memory** — at every phase boundary, realized state sizes (join
+   windows; K-slack + synchronizer pending) must stay under the
+   workload's *analytic* caps (:meth:`~repro.workloads.Workload.analytic_caps`),
+   proving the engine's footprint is bounded by configured rates, not by
+   stream length.  State is probed on serially-executed variants (under
+   exact partitioning the union of shard states equals the
+   single-pipeline state; process workers are not introspectable
+   mid-run, which is why the serial reference always rides along).
+
+Determinism: the workload is seeded, the replay is arrival-driven, and
+every check compares exact counts/bytes — a soak run either passes
+reproducibly or fails reproducibly.  ``tools/soak.py`` is the CLI.
+
+Failure injection: the harness takes a ``driver_factory`` so tests can
+wrap variants in deliberately broken drivers and prove each of the four
+checks actually fails (see ``tests/test_soak.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.pipeline import PipelineConfig
+from ..core.adaptation import FixedKPolicy
+from ..core.tuples import JoinResult, StreamTuple
+from ..parallel.executors import SerialExecutor
+from ..parallel.pipeline import PartitionedPipeline
+from ..parallel.shard import TRANSPORT_BLOCKS
+from ..quality.truth import compute_truth
+from . import Workload, WorkloadCaps, NexmarkConfig, auction_bids_workload
+
+#: The four invariant check identifiers.
+CHECK_SUBSET = "subset"
+CHECK_RECALL = "recall"
+CHECK_IDENTITY = "identity"
+CHECK_MEMORY = "memory"
+ALL_CHECKS = (CHECK_SUBSET, CHECK_RECALL, CHECK_IDENTITY, CHECK_MEMORY)
+
+
+@dataclass(frozen=True)
+class VariantSpec:
+    """One pipeline variant of the differential bank."""
+
+    name: str
+    shards: int
+    executor: str = "serial"
+    transport: str = TRANSPORT_BLOCKS
+    rebalance: bool = False
+
+
+@dataclass
+class SoakConfig:
+    """Soak-run parameters (everything derives deterministically from these)."""
+
+    phases: int = 3
+    seed: int = 7
+    phase_duration_ms: int = 8_000
+    #: Shard counts of the differential bank (1 is always forced in as
+    #: the serial reference).
+    shard_counts: Tuple[int, ...] = (1, 2, 4)
+    #: Executor of the multi-shard variants: ``"serial"`` or ``"process"``.
+    executor: str = "serial"
+    transport: str = TRANSPORT_BLOCKS
+    window_s: float = 1.0
+    #: Recall requirement per phase; the run is lossless, so any value
+    #: below 1.0 also documents the slack the check grants.
+    recall_requirement: float = 0.95
+    bid_channels: int = 2
+    #: Arrival-stream burst size fed per ``process_batch`` call.
+    chunk_size: int = 64
+    rebalance_interval: int = 512
+    rebalance_threshold: float = 1.05
+
+    def workload(self) -> Workload:
+        return auction_bids_workload(
+            NexmarkConfig(
+                num_bid_channels=self.bid_channels,
+                num_phases=self.phases,
+                phase_duration_ms=self.phase_duration_ms,
+                seed=self.seed,
+            ),
+            window_s=self.window_s,
+        )
+
+    def variants(self) -> List[VariantSpec]:
+        """The differential bank: serial reference + shard sweeps + rebalance."""
+        specs = [VariantSpec("serial-1", 1, "serial")]
+        multi = sorted({n for n in self.shard_counts if n > 1})
+        for shards in multi:
+            specs.append(
+                VariantSpec(
+                    f"{self.executor}-{shards}",
+                    shards,
+                    self.executor,
+                    self.transport,
+                )
+            )
+        if multi:
+            top = multi[-1]
+            specs.append(
+                VariantSpec(
+                    f"{self.executor}-{top}-rebalanced",
+                    top,
+                    self.executor,
+                    self.transport,
+                    rebalance=True,
+                )
+            )
+        return specs
+
+
+class PipelineDriver:
+    """Default variant driver: a :class:`PartitionedPipeline` wrapper.
+
+    The driver surface (``feed`` / ``flush`` / ``state_sizes`` /
+    ``close``) is what failure-injection tests stub out.
+    """
+
+    def __init__(self, spec: VariantSpec, config: PipelineConfig,
+                 soak: SoakConfig) -> None:
+        self.spec = spec
+        kwargs = {}
+        if spec.rebalance:
+            kwargs = dict(
+                rebalance=True,
+                rebalance_interval=soak.rebalance_interval,
+                rebalance_threshold=soak.rebalance_threshold,
+            )
+        self.pipeline = PartitionedPipeline(
+            config,
+            spec.shards,
+            executor=spec.executor,
+            transport=spec.transport,
+            **kwargs,
+        )
+
+    def feed(self, batch: Sequence[StreamTuple]) -> List[JoinResult]:
+        return self.pipeline.process_batch(batch)
+
+    def flush(self) -> List[JoinResult]:
+        return self.pipeline.flush()
+
+    def state_sizes(self) -> Optional[Tuple[int, int]]:
+        """``(window_tuples, pending_tuples)`` summed over shards.
+
+        ``None`` when the executor's state is not introspectable
+        (worker processes) — the memory check then skips this variant.
+        """
+        executor = self.pipeline.executor
+        if not isinstance(executor, SerialExecutor):
+            return None
+        windows = 0
+        pending = 0
+        for shard in executor.pipelines:
+            windows += sum(w.cardinality for w in shard.join.windows)
+            pending += sum(k.buffered for k in shard.kslacks)
+            pending += shard.synchronizer.buffered
+        return windows, pending
+
+    def close(self) -> None:
+        self.pipeline.close()
+
+
+#: Builds one driver per variant; tests swap this for broken stubs.
+DriverFactory = Callable[[VariantSpec, PipelineConfig, SoakConfig], PipelineDriver]
+
+
+@dataclass
+class SoakViolation:
+    """One failed invariant check."""
+
+    check: str
+    phase: int  # -1 for run-level checks (terminal identity)
+    variant: str
+    detail: str
+
+    def __str__(self) -> str:
+        where = f"phase {self.phase}" if self.phase >= 0 else "run"
+        return f"[{self.check}] {where}, {self.variant}: {self.detail}"
+
+
+@dataclass
+class PhaseReport:
+    """Per-phase accounting of one soak run."""
+
+    index: int
+    lo_ms: int
+    hi_ms: int
+    true_count: int
+    #: variant name -> distinct results with ts in this phase's range.
+    produced: Dict[str, int] = field(default_factory=dict)
+    #: variant name -> recall against ``true_count`` (1.0 when no truth).
+    recall: Dict[str, float] = field(default_factory=dict)
+    #: variant name -> (windows, pending) probed at the phase boundary.
+    state: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak run yields."""
+
+    workload: str
+    executor: str
+    variants: List[str]
+    truth_total: int
+    k_ms: int
+    caps: WorkloadCaps
+    phases: List[PhaseReport] = field(default_factory=list)
+    violations: List[SoakViolation] = field(default_factory=list)
+    checks_run: Tuple[str, ...] = ALL_CHECKS
+    #: canonical output fingerprint (hex digest) per variant.
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        """Human-readable phase table + verdict (saved under results/)."""
+        from ..experiments.report import format_table
+
+        headers = ["phase", "range (ms)", "true", "variant", "produced",
+                   "recall", "windows", "pending"]
+        rows = []
+        for phase in self.phases:
+            for variant in self.variants:
+                windows, pending = phase.state.get(variant, (None, None))
+                rows.append(
+                    (
+                        phase.index,
+                        f"({phase.lo_ms}, {phase.hi_ms}]",
+                        phase.true_count,
+                        variant,
+                        phase.produced.get(variant, 0),
+                        f"{phase.recall.get(variant, 1.0):.4f}",
+                        "-" if windows is None else windows,
+                        "-" if pending is None else pending,
+                    )
+                )
+        title = (
+            f"Soak — {self.workload}, executor={self.executor}, "
+            f"K={self.k_ms} ms, truth={self.truth_total}, caps: "
+            f"windows<={self.caps.window_cap} pending<={self.caps.pending_cap}"
+        )
+        lines = [format_table(headers, rows, title=title), ""]
+        lines.append("output fingerprints (byte-identity oracle):")
+        for variant in self.variants:
+            lines.append(f"  {variant}: {self.fingerprints.get(variant, '-')}")
+        lines.append("")
+        if self.passed:
+            lines.append(
+                f"PASS — all checks held: {', '.join(self.checks_run)}"
+            )
+        else:
+            lines.append(f"FAIL — {len(self.violations)} violation(s):")
+            for violation in self.violations:
+                lines.append(f"  {violation}")
+        return "\n".join(lines)
+
+
+def canonical_results(results: Sequence[JoinResult]) -> List[tuple]:
+    """Routing-independent total order: ``(ts, result identity key)``."""
+    return sorted(((r.ts, r.key()) for r in results))
+
+
+def canonical_bytes(results: Sequence[JoinResult]) -> bytes:
+    """Byte serialization the identity oracle compares."""
+    return repr(canonical_results(results)).encode("utf-8")
+
+
+def _fingerprint(payload: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class SoakHarness:
+    """One deterministic soak run over a workload and a variant bank."""
+
+    def __init__(
+        self,
+        config: SoakConfig,
+        workload: Optional[Workload] = None,
+        driver_factory: Optional[DriverFactory] = None,
+    ) -> None:
+        self.config = config
+        self.workload = workload if workload is not None else config.workload()
+        self.driver_factory = driver_factory or PipelineDriver
+
+    # ------------------------------------------------------------------
+    # setup helpers
+    # ------------------------------------------------------------------
+
+    def _pipeline_config(self, k_ms: int) -> PipelineConfig:
+        """A fresh lossless config per variant (policies are per-pipeline)."""
+        return PipelineConfig(
+            window_sizes_ms=list(self.workload.window_sizes_ms),
+            condition=self.workload.condition,
+            gamma=self.config.recall_requirement,
+            period_ms=max(self.config.phase_duration_ms, 1_000),
+            interval_ms=1_000,
+            policy=FixedKPolicy(k_ms),
+            initial_k_ms=k_ms,
+            collect_results=True,
+        )
+
+    # ------------------------------------------------------------------
+    # the run
+    # ------------------------------------------------------------------
+
+    def run(self) -> SoakReport:
+        workload = self.workload
+        config = self.config
+        dataset = workload.dataset
+        # Lossless disorder handling: fixed K covering the realized
+        # maximum delay makes every variant's output the exact join.
+        k_ms = dataset.max_delay()
+        truth = compute_truth(
+            dataset, workload.window_sizes_ms, workload.condition,
+            keep_keys=True,
+        )
+        caps = workload.analytic_caps(k_ms)
+        specs = config.variants()
+        report = SoakReport(
+            workload=workload.name,
+            executor=config.executor,
+            variants=[spec.name for spec in specs],
+            truth_total=truth.index.total,
+            k_ms=k_ms,
+            caps=caps,
+        )
+
+        if len(specs) == 1:
+            # A single-variant bank has nothing to differentially
+            # compare; be explicit that the identity oracle did not run
+            # rather than reporting it vacuously held.
+            report.checks_run = tuple(
+                check for check in ALL_CHECKS if check != CHECK_IDENTITY
+            )
+
+        arrivals = list(dataset.arrivals())
+        arrival_keys = [t.arrival for t in arrivals]
+        drivers = [
+            self.driver_factory(spec, self._pipeline_config(k_ms), config)
+            for spec in specs
+        ]
+        collected: Dict[str, List[JoinResult]] = {
+            spec.name: [] for spec in specs
+        }
+        seen_keys: Dict[str, set] = {spec.name: set() for spec in specs}
+        try:
+            position = 0
+            for phase_index, boundary in enumerate(
+                workload.phase_boundaries_ms
+            ):
+                end = bisect.bisect_right(arrival_keys, boundary)
+                phase_batch = arrivals[position:end]
+                position = end
+                for spec, driver in zip(specs, drivers):
+                    fresh: List[JoinResult] = []
+                    for start in range(0, len(phase_batch), config.chunk_size):
+                        fresh.extend(
+                            driver.feed(
+                                phase_batch[start:start + config.chunk_size]
+                            )
+                        )
+                    collected[spec.name].extend(fresh)
+                    self._check_subset(
+                        report, truth, fresh, phase_index, spec.name,
+                        seen_keys[spec.name],
+                    )
+                self._check_memory(report, specs, drivers, caps, phase_index)
+            # Terminal flush: the remaining (buffered) results.
+            for spec, driver in zip(specs, drivers):
+                final = driver.flush()
+                collected[spec.name].extend(final)
+                self._check_subset(
+                    report, truth, final, workload.num_phases - 1, spec.name,
+                    seen_keys[spec.name],
+                )
+        finally:
+            for driver in drivers:
+                driver.close()
+
+        self._account_phases(report, truth, specs, collected)
+        self._check_recall(report, specs)
+        self._check_identity(report, specs, collected)
+        return report
+
+    # ------------------------------------------------------------------
+    # the four checks
+    # ------------------------------------------------------------------
+
+    def _check_subset(self, report, truth, results, phase_index, variant,
+                      seen_keys):
+        assert truth.keys is not None
+        bogus = 0
+        duplicates = 0
+        for r in results:
+            key = r.key()
+            if key not in truth.keys:
+                bogus += 1
+            elif key in seen_keys:
+                # The true result set is distinct, so the subset
+                # relation is a multiset one: a re-produced result is
+                # just as spurious as a fabricated one.
+                duplicates += 1
+            else:
+                seen_keys.add(key)
+        if bogus:
+            report.violations.append(
+                SoakViolation(
+                    CHECK_SUBSET,
+                    phase_index,
+                    variant,
+                    f"{bogus} produced result(s) not in the true result set",
+                )
+            )
+        if duplicates:
+            report.violations.append(
+                SoakViolation(
+                    CHECK_SUBSET,
+                    phase_index,
+                    variant,
+                    f"{duplicates} duplicate produced result(s)",
+                )
+            )
+
+    def _check_memory(self, report, specs, drivers, caps, phase_index):
+        phase = self._phase_slot(report, phase_index)
+        for spec, driver in zip(specs, drivers):
+            sizes = driver.state_sizes()
+            if sizes is None:
+                continue
+            windows, pending = sizes
+            phase.state[spec.name] = (windows, pending)
+            if windows > caps.window_cap:
+                report.violations.append(
+                    SoakViolation(
+                        CHECK_MEMORY,
+                        phase_index,
+                        spec.name,
+                        f"window tuples {windows} exceed analytic cap "
+                        f"{caps.window_cap}",
+                    )
+                )
+            if pending > caps.pending_cap:
+                report.violations.append(
+                    SoakViolation(
+                        CHECK_MEMORY,
+                        phase_index,
+                        spec.name,
+                        f"pending tuples {pending} exceed analytic cap "
+                        f"{caps.pending_cap}",
+                    )
+                )
+
+    def _phase_slot(self, report: SoakReport, index: int) -> PhaseReport:
+        while len(report.phases) <= index:
+            lo, hi = self.workload.phase_ranges()[len(report.phases)]
+            report.phases.append(
+                PhaseReport(index=len(report.phases), lo_ms=lo, hi_ms=hi,
+                            true_count=0)
+            )
+        return report.phases[index]
+
+    def _account_phases(self, report, truth, specs, collected):
+        """Bucket every variant's results by phase timestamp range.
+
+        Counts are over *distinct* result identities: the true result
+        set is distinct by construction, and deduplicating here keeps a
+        duplicate-emitting engine bug from masking dropped results in
+        the recall ratio (duplicates themselves are flagged by the
+        subset check).
+        """
+        distinct: Dict[str, List[int]] = {
+            spec.name: sorted(
+                ts for ts, _ in {(r.ts, r.key()) for r in collected[spec.name]}
+            )
+            for spec in specs
+        }
+        for index, (lo, hi) in enumerate(self.workload.phase_ranges()):
+            phase = self._phase_slot(report, index)
+            phase.true_count = truth.index.count_in(lo, hi)
+            for spec in specs:
+                timestamps = distinct[spec.name]
+                produced = bisect.bisect_right(timestamps, hi) - (
+                    bisect.bisect_right(timestamps, lo)
+                )
+                phase.produced[spec.name] = produced
+                phase.recall[spec.name] = (
+                    min(1.0, produced / phase.true_count)
+                    if phase.true_count
+                    else 1.0
+                )
+
+    def _check_recall(self, report, specs):
+        requirement = self.config.recall_requirement
+        for phase in report.phases:
+            for spec in specs:
+                recall = phase.recall.get(spec.name, 1.0)
+                if recall < requirement:
+                    report.violations.append(
+                        SoakViolation(
+                            CHECK_RECALL,
+                            phase.index,
+                            spec.name,
+                            f"phase recall {recall:.4f} below requirement "
+                            f"{requirement} under lossless settings "
+                            f"({phase.produced.get(spec.name, 0)}/"
+                            f"{phase.true_count})",
+                        )
+                    )
+
+    def _check_identity(self, report, specs, collected):
+        reference = specs[0].name
+        reference_bytes = canonical_bytes(collected[reference])
+        report.fingerprints[reference] = _fingerprint(reference_bytes)
+        for spec in specs[1:]:
+            payload = canonical_bytes(collected[spec.name])
+            report.fingerprints[spec.name] = _fingerprint(payload)
+            if payload != reference_bytes:
+                detail = (
+                    f"merged output diverges from {reference}: "
+                    f"{len(collected[spec.name])} vs "
+                    f"{len(collected[reference])} results"
+                )
+                # Locate the first divergent phase for the report.
+                for phase in report.phases:
+                    if phase.produced.get(spec.name) != phase.produced.get(
+                        reference
+                    ):
+                        detail += f" (first count divergence in phase {phase.index})"
+                        break
+                report.violations.append(
+                    SoakViolation(CHECK_IDENTITY, -1, spec.name, detail)
+                )
+
+
+def run_soak(
+    config: Optional[SoakConfig] = None,
+    workload: Optional[Workload] = None,
+    driver_factory: Optional[DriverFactory] = None,
+) -> SoakReport:
+    """Run one soak; see :class:`SoakHarness`."""
+    return SoakHarness(
+        config if config is not None else SoakConfig(),
+        workload=workload,
+        driver_factory=driver_factory,
+    ).run()
+
+
+__all__ = [
+    "ALL_CHECKS",
+    "CHECK_IDENTITY",
+    "CHECK_MEMORY",
+    "CHECK_RECALL",
+    "CHECK_SUBSET",
+    "PhaseReport",
+    "PipelineDriver",
+    "SoakConfig",
+    "SoakHarness",
+    "SoakReport",
+    "SoakViolation",
+    "VariantSpec",
+    "canonical_bytes",
+    "canonical_results",
+    "run_soak",
+]

@@ -23,11 +23,17 @@ from repro import (
     JoinCondition,
     KSlackBuffer,
     MSWJOperator,
+    NexmarkConfig,
+    PipelineConfig,
+    QualityDrivenPipeline,
     RecallModel,
     StreamModelInput,
     StreamTuple,
     Synchronizer,
+    auction_bid_query,
     compute_truth,
+    make_auction_bids,
+    run_partitioned,
 )
 from repro.streams.source import Dataset
 
@@ -333,6 +339,92 @@ class TestJoinProperties:
         for emitted in sync.flush():
             produced.extend(op.process(emitted))
         assert result_key_set(produced) == truth.keys
+
+
+# ----------------------------------------------------------------------
+# NEXMark-style workload configs (repro.streams.nexmark)
+# ----------------------------------------------------------------------
+#
+# The workload suite must uphold the engine's core guarantees on
+# *arbitrary* configurations, not just the curated defaults: whatever
+# the rates, phases, skews and disorder, (a) a disordered replay
+# produces a subset of the true results, and (b) under lossless
+# settings the partitioned engine's merged output is identical at any
+# shard count.  Sizes are kept small (seconds of stream time, coarse
+# gaps) so hypothesis can explore the config space.
+
+
+@st.composite
+def nexmark_configs(draw):
+    return NexmarkConfig(
+        num_bid_channels=draw(st.integers(min_value=1, max_value=2)),
+        num_phases=draw(st.integers(min_value=1, max_value=4)),
+        phase_duration_ms=draw(st.sampled_from([600, 1_000, 1_600])),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        auction_domain=draw(st.integers(min_value=2, max_value=8)),
+        auction_gap_ms=draw(st.sampled_from([60, 90])),
+        bid_gap_ms=draw(st.sampled_from([40, 70])),
+        max_delay_ms=draw(st.sampled_from([0, 150, 400])),
+    )
+
+
+def _nexmark_setup(config):
+    dataset = make_auction_bids(config)
+    condition = auction_bid_query(config.num_bid_channels)
+    windows = [400] * dataset.num_streams
+    return dataset, condition, windows
+
+
+class TestNexmarkWorkloadProperties:
+    @given(nexmark_configs(), st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_produced_is_subset_of_truth(self, config, k):
+        """Any disorder handling on any workload config: produced ⊆ true."""
+        dataset, condition, windows = _nexmark_setup(config)
+        truth = compute_truth(dataset, windows, condition, keep_keys=True)
+        pipeline = QualityDrivenPipeline(
+            PipelineConfig(
+                window_sizes_ms=windows,
+                condition=condition,
+                policy=FixedKPolicy(k),
+                initial_k_ms=k,
+            )
+        )
+        produced = []
+        for t in dataset.arrivals():
+            produced.extend(pipeline.process(t))
+        produced.extend(pipeline.flush())
+        produced_keys = result_key_set(produced)
+        assert produced_keys <= truth.keys
+        assert len(produced) == len(produced_keys)  # no duplicates
+
+    @given(nexmark_configs())
+    @settings(max_examples=10, deadline=None)
+    def test_shard_count_output_identity(self, config):
+        """Lossless K: merged output identical at shards 1/2/3."""
+        dataset, condition, windows = _nexmark_setup(config)
+        k = dataset.max_delay()
+
+        def lossless():
+            return PipelineConfig(
+                window_sizes_ms=windows,
+                condition=condition,
+                policy=FixedKPolicy(k),
+                initial_k_ms=k,
+            )
+
+        def canonical(results):
+            return sorted((r.ts, r.key()) for r in results)
+
+        reference = None
+        for shards in (1, 2, 3):
+            outputs, _ = run_partitioned(
+                dataset, lossless(), shards, chunk_size=64
+            )
+            if reference is None:
+                reference = canonical(outputs)
+            else:
+                assert canonical(outputs) == reference
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,278 @@
+"""Tests for the deterministic soak & differential-oracle harness.
+
+Two halves:
+
+* the harness *passes* on a healthy engine (all four checks hold, the
+  per-phase accounting is conserved, fingerprints agree, both executor
+  banks work); and
+* **failure injection** — a deliberately broken pipeline stub must trip
+  each of the four checks individually, proving none of them is
+  vacuous.  Each stub wraps the real driver and tampers with exactly
+  one contract; tampering uniformly across variants isolates the
+  targeted check (e.g. dropping the same results everywhere breaks
+  recall but keeps byte-identity intact).
+"""
+
+import pytest
+
+from repro import JoinResult, StreamTuple
+from repro.workloads.soak import (
+    ALL_CHECKS,
+    CHECK_IDENTITY,
+    CHECK_MEMORY,
+    CHECK_RECALL,
+    CHECK_SUBSET,
+    PipelineDriver,
+    SoakConfig,
+    SoakHarness,
+    SoakViolation,
+    canonical_bytes,
+    run_soak,
+)
+
+
+def small_soak(**overrides):
+    defaults = dict(
+        phases=3,
+        seed=11,
+        phase_duration_ms=2_000,
+        window_s=0.5,
+        shard_counts=(1, 2, 4),
+    )
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# the healthy engine passes
+# ----------------------------------------------------------------------
+
+
+class TestHealthySoak:
+    def test_serial_bank_passes_all_checks(self):
+        report = run_soak(small_soak())
+        assert report.passed, [str(v) for v in report.violations]
+        assert tuple(report.checks_run) == ALL_CHECKS
+        assert report.variants == [
+            "serial-1", "serial-2", "serial-4", "serial-4-rebalanced"
+        ]
+        assert len(report.phases) == 3
+        # Byte-identity oracle: one fingerprint for the whole bank.
+        assert len(set(report.fingerprints.values())) == 1
+
+    def test_phase_boundary_recall_accounting_is_conserved(self):
+        # The per-phase ranges partition the timestamp axis, so the
+        # per-phase true counts must sum to the truth total, and every
+        # variant's per-phase produced counts must sum to the full
+        # (lossless == complete) result count.
+        report = run_soak(small_soak())
+        assert sum(p.true_count for p in report.phases) == report.truth_total
+        for variant in report.variants:
+            produced = sum(p.produced[variant] for p in report.phases)
+            assert produced == report.truth_total
+        for phase in report.phases:
+            for variant in report.variants:
+                assert phase.recall[variant] == 1.0
+
+    def test_memory_probed_on_serial_variants_each_phase(self):
+        report = run_soak(small_soak())
+        for phase in report.phases:
+            assert set(phase.state) == set(report.variants)  # all serial
+            for windows, pending in phase.state.values():
+                assert windows <= report.caps.window_cap
+                assert pending <= report.caps.pending_cap
+
+    def test_process_bank_passes_and_skips_worker_memory_probe(self):
+        report = run_soak(
+            small_soak(phases=2, shard_counts=(1, 2), executor="process")
+        )
+        assert report.passed, [str(v) for v in report.violations]
+        assert report.variants == [
+            "serial-1", "process-2", "process-2-rebalanced"
+        ]
+        # Worker state is not introspectable; the serial reference is.
+        for phase in report.phases:
+            assert set(phase.state) == {"serial-1"}
+
+    def test_render_mentions_verdict_and_fingerprints(self):
+        report = run_soak(small_soak(phases=2))
+        text = report.render()
+        assert "PASS" in text and "fingerprints" in text
+
+    def test_deterministic_across_runs(self):
+        first = run_soak(small_soak())
+        second = run_soak(small_soak())
+        assert first.fingerprints == second.fingerprints
+        assert first.truth_total == second.truth_total
+
+
+# ----------------------------------------------------------------------
+# failure injection: each check must be able to fail
+# ----------------------------------------------------------------------
+
+
+def run_with_driver(driver_factory, **overrides):
+    config = small_soak(**overrides)
+    harness = SoakHarness(config, driver_factory=driver_factory)
+    return harness.run(), harness.workload
+
+
+def bogus_result(ts=100):
+    # seq far outside anything the generator emits: its key cannot be in
+    # the true result set.
+    components = tuple(
+        StreamTuple(ts=ts, values={"auction": -1}, stream=s, seq=10 ** 6)
+        for s in range(3)
+    )
+    return JoinResult(ts, components)
+
+
+class TestFailureInjection:
+    def test_subset_check_trips_on_fabricated_result(self):
+        class Fabricating(PipelineDriver):
+            def flush(self):
+                # The same fabricated result in every variant: identity
+                # holds, recall caps at 1.0 — only subset can trip.
+                return super().flush() + [bogus_result()]
+
+        report, _ = run_with_driver(Fabricating)
+        assert not report.passed
+        assert {v.check for v in report.violations} == {CHECK_SUBSET}
+
+    def test_recall_check_trips_on_dropped_results(self):
+        class Dropping(PipelineDriver):
+            """Drops every result of phase 1 (uniformly across variants)."""
+
+            def __init__(self, spec, config, soak):
+                super().__init__(spec, config, soak)
+                self._lo, self._hi = None, None
+
+            def _filter(self, results):
+                return [
+                    r for r in results
+                    if not (self._lo < r.ts <= self._hi)
+                ]
+
+            def feed(self, batch):
+                return self._filter(super().feed(batch))
+
+            def flush(self):
+                return self._filter(super().flush())
+
+        def factory(spec, config, soak):
+            driver = Dropping(spec, config, soak)
+            lo = soak.phase_duration_ms
+            driver._lo, driver._hi = lo, lo + soak.phase_duration_ms
+            return driver
+
+        report, _ = run_with_driver(factory)
+        assert not report.passed
+        checks = {v.check for v in report.violations}
+        assert checks == {CHECK_RECALL}
+        assert all(v.phase == 1 for v in report.violations)
+
+    def test_subset_check_trips_on_duplicate_result(self):
+        class Duplicating(PipelineDriver):
+            """Every variant re-emits its canonically-first result: the
+            true result set is distinct, so the (multiset) subset check
+            must trip — and because every variant duplicates the *same*
+            result (which shard buffered it until flush varies, so it
+            must be picked canonically, not positionally), identity
+            holds and the deduplicated recall stays 1.0."""
+
+            def __init__(self, spec, config, soak):
+                super().__init__(spec, config, soak)
+                self._returned = []
+
+            def feed(self, batch):
+                results = super().feed(batch)
+                self._returned.extend(results)
+                return results
+
+            def flush(self):
+                results = super().flush()
+                self._returned.extend(results)
+                if self._returned:
+                    first = min(
+                        self._returned, key=lambda r: (r.ts, r.key())
+                    )
+                    results = results + [first]
+                return results
+
+        report, _ = run_with_driver(Duplicating)
+        assert not report.passed
+        assert {v.check for v in report.violations} == {CHECK_SUBSET}
+        assert all("duplicate" in v.detail for v in report.violations)
+
+    def test_identity_check_trips_on_single_variant_divergence(self):
+        class DroppingOne(PipelineDriver):
+            """One non-reference variant loses a single result.
+
+            One result out of thousands keeps that variant's phase
+            recall above the 0.95 requirement, so only the byte-identity
+            oracle can see the divergence.
+            """
+
+            def flush(self):
+                results = super().flush()
+                if self.spec.name == "serial-2" and results:
+                    results = results[:-1]
+                return results
+
+        report, _ = run_with_driver(DroppingOne)
+        assert not report.passed
+        assert {v.check for v in report.violations} == {CHECK_IDENTITY}
+        assert all(v.variant == "serial-2" for v in report.violations)
+
+    def test_memory_check_trips_on_unbounded_state(self):
+        class Ballooning(PipelineDriver):
+            def state_sizes(self):
+                return (10 ** 9, 10 ** 9)
+
+        report, _ = run_with_driver(Ballooning)
+        assert not report.passed
+        assert {v.check for v in report.violations} == {CHECK_MEMORY}
+
+    def test_failing_report_renders_violations(self):
+        class Ballooning(PipelineDriver):
+            def state_sizes(self):
+                return (10 ** 9, 10 ** 9)
+
+        report, _ = run_with_driver(Ballooning, phases=2)
+        text = report.render()
+        assert "FAIL" in text and "memory" in text
+
+
+# ----------------------------------------------------------------------
+# plumbing details
+# ----------------------------------------------------------------------
+
+
+class TestSoakPlumbing:
+    def test_variant_bank_always_includes_serial_reference(self):
+        config = small_soak(executor="process", shard_counts=(2, 4))
+        names = [spec.name for spec in config.variants()]
+        assert names[0] == "serial-1"
+        assert names == [
+            "serial-1", "process-2", "process-4", "process-4-rebalanced"
+        ]
+
+    def test_single_variant_bank_reports_identity_as_not_run(self):
+        # With no shard count > 1 there is nothing to differentially
+        # compare; the report must not claim the identity oracle held.
+        report = run_soak(small_soak(phases=2, shard_counts=(1,)))
+        assert report.passed
+        assert report.variants == ["serial-1"]
+        assert CHECK_IDENTITY not in report.checks_run
+        assert set(report.checks_run) == set(ALL_CHECKS) - {CHECK_IDENTITY}
+        assert "identity" not in report.render().split("all checks held:")[-1]
+
+    def test_canonical_bytes_is_order_independent(self):
+        a = bogus_result(ts=10)
+        b = bogus_result(ts=20)
+        assert canonical_bytes([a, b]) == canonical_bytes([b, a])
+
+    def test_violation_renders_phase_and_variant(self):
+        v = SoakViolation(CHECK_RECALL, 2, "serial-4", "too low")
+        assert "phase 2" in str(v) and "serial-4" in str(v)
+        assert "run" in str(SoakViolation(CHECK_IDENTITY, -1, "x", "d"))

@@ -127,3 +127,85 @@ class TestWatermarkFrontEnd:
         late = _t(60, seq=1)
         front.process(late)
         assert late.delay == 40
+
+
+class TestWatermarkFrontEndEdges:
+    """Late-tuple accounting and the bound edge cases the bench relies on.
+
+    ``bench_ext_watermarks.py`` sweeps fixed bounds against the adaptive
+    manager but had no dedicated tests for the front end's accounting
+    contract: exactly which tuples count as late (and are forwarded out
+    of order — the "drop" the downstream join then realizes), and the
+    degenerate bounds 0 and >= max delay.
+    """
+
+    def _run(self, bound, timestamps, emit_every=1):
+        front = WatermarkFrontEnd(
+            num_streams=1, bound_ms=bound, emit_every=emit_every
+        )
+        out = []
+        for seq, ts in enumerate(timestamps):
+            out.extend(front.process(_t(ts, seq=seq)))
+        out.extend(front.flush(0))
+        return front, [t.ts for t in out]
+
+    def test_bound_zero_counts_every_non_advancing_tuple_late(self):
+        # With bound 0 the watermark equals the max timestamp seen, so
+        # any tuple not strictly advancing it — including ties — is late.
+        timestamps = [10, 5, 20, 20, 30, 7]
+        front, released = self._run(0, timestamps)
+        assert front.late_tuples() == 3  # 5, the second 20, and 7
+        assert sorted(released) == sorted(timestamps)  # forwarded, not lost
+
+    def test_bound_zero_in_order_stream_has_no_late_tuples(self):
+        front, released = self._run(0, [10, 20, 30, 40])
+        assert front.late_tuples() == 0
+        assert released == [10, 20, 30, 40]
+
+    def test_bound_above_max_delay_never_drops(self):
+        timestamps = [100, 40, 130, 90, 160, 150, 200, 170]
+        # Realized max delay: 60 (ts 40 after ts 100).
+        for bound in (61, 100, 10_000):
+            front, released = self._run(bound, timestamps)
+            assert front.late_tuples() == 0
+            assert released == sorted(timestamps)
+
+    def test_bound_equal_to_max_delay_still_leaks_boundary_tuple(self):
+        # The watermark contract is strict: a tuple with ts <= watermark
+        # (delay >= bound) is late, so bound == max delay still flags the
+        # boundary tuple — one off from K-slack, whose release condition
+        # (ts + K <= iT) keeps the delay == K tuple re-orderable.  This
+        # is why the bench's watermark frontier needs bound *above* the
+        # realized max delay for full recall.
+        timestamps = [100, 40, 130, 90, 160, 150, 200, 170]
+        for bound in (59, 60):
+            front, released = self._run(bound, timestamps)
+            assert front.late_tuples() == 1  # ts=40, delay 60
+            assert sorted(released) == sorted(timestamps)  # forwarded, not lost
+
+    def test_late_accounting_is_per_stream_and_summed(self):
+        front = WatermarkFrontEnd(num_streams=2, bound_ms=0)
+        for seq, (stream, ts) in enumerate(
+            [(0, 10), (1, 100), (0, 5), (1, 50), (1, 40)]
+        ):
+            front.process(_t(ts, stream=stream, seq=seq))
+        assert front.buffers[0].late_tuples == 1  # ts 5
+        assert front.buffers[1].late_tuples == 2  # ts 50, 40
+        assert front.late_tuples() == 3
+
+    def test_periodic_watermarks_delay_late_detection(self):
+        # With emit_every=3 the watermark only moves on every third
+        # arrival, so a tuple that would be late under per-tuple
+        # watermarks may still be buffered (and re-ordered) in between.
+        timestamps = [100, 40, 130, 90, 160, 150]
+        per_tuple, _ = self._run(0, timestamps)
+        periodic, released = self._run(0, timestamps, emit_every=3)
+        assert periodic.late_tuples() < per_tuple.late_tuples()
+        assert sorted(released) == sorted(timestamps)
+
+    def test_flush_releases_buffered_remainder_sorted(self):
+        front = WatermarkFrontEnd(num_streams=1, bound_ms=1_000)
+        for seq, ts in enumerate([50, 10, 40]):
+            front.process(_t(ts, seq=seq))
+        assert front.buffers[0].buffered == 3  # bound holds everything
+        assert [t.ts for t in front.flush(0)] == [10, 40, 50]
