@@ -16,7 +16,7 @@ import time
 
 from common import experiment, report
 
-from repro import KSlackBuffer, MSWJOperator, StreamTuple, Synchronizer
+from repro import KSlackBuffer, MSWJOperator, Synchronizer
 from repro.distributed.tree import TreeJoinOperator
 
 

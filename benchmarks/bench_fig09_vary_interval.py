@@ -62,7 +62,7 @@ def test_fig09_vary_interval(benchmark):
     )
 
     # Shape: K grows with L over the well-sampled range (<= 5 s).
-    for label in {o.experiment for o in outcomes}:
+    for label in sorted({o.experiment for o in outcomes}):
         for gamma in GAMMAS:
             subset = sorted(
                 (

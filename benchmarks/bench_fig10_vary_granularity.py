@@ -53,7 +53,7 @@ def test_fig10_vary_granularity(benchmark):
     # where it is large; at bench scale, single-seed noise on the bursty
     # soccer delays can tilt individual points slightly either way, so
     # the check bounds the relative deviation instead of its sign).
-    for label in {o.experiment for o in outcomes}:
+    for label in sorted({o.experiment for o in outcomes}):
         for gamma in GAMMAS:
             subset = sorted(
                 (o for o in outcomes if o.experiment == label and o.gamma == gamma),

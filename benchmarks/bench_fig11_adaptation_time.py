@@ -52,7 +52,7 @@ def test_fig11_adaptation_time(benchmark):
 
     # Shape: coarser g is never slower than the finest g (fewer search
     # steps), for every dataset and Gamma.
-    for label in {o.experiment for o in outcomes}:
+    for label in sorted({o.experiment for o in outcomes}):
         for gamma in GAMMAS:
             subset = sorted(
                 (o for o in outcomes if o.experiment == label and o.gamma == gamma),

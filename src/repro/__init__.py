@@ -63,6 +63,8 @@ from .join.conditions import (
     star_equi_join,
 )
 from .join.mswj import MSWJOperator
+from .join.ordering import IndexAwareOrder, ProbeOrderPolicy, SmallestWindowFirst
+from .join.window import SlidingWindow
 from .parallel import (
     TRANSPORT_BLOCKS,
     TRANSPORT_OBJECTS,
@@ -77,8 +79,6 @@ from .parallel import (
     load_imbalance,
     run_partitioned,
 )
-from .join.ordering import IndexAwareOrder, ProbeOrderPolicy, SmallestWindowFirst
-from .join.window import SlidingWindow
 from .quality.recall import RecallMeasurement, RecallMeter
 from .quality.truth import TruthIndex, compute_truth
 from .streams.disorder import (

@@ -1,0 +1,43 @@
+"""repro-lint: AST-based contract & determinism checking for the engine.
+
+A custom static-analysis pass over Python ``ast`` that cross-checks the
+hand-maintained invariants the runtime tests can only catch on executed
+paths: codec field coverage, ``MSG_*`` protocol exhaustiveness,
+determinism hygiene, the terminal-flush contracts, and IPC picklability.
+``tools/lint.py`` is the CLI; ``tests/test_lint.py`` wires the pass into
+tier-1; ``docs/STATIC_ANALYSIS.md`` documents every rule and the
+suppression syntax.
+
+>>> from repro.analysis import analyze_sources
+>>> findings = analyze_sources({"snippet.py": "x = hash('key')\\n"})
+>>> [f.rule for f in findings]
+['determinism']
+"""
+
+from .core import (
+    Finding,
+    ModuleIndex,
+    Rule,
+    SourceModule,
+    all_rules,
+    analyze,
+    analyze_paths,
+    analyze_sources,
+    load_paths,
+    register,
+    select_rules,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleIndex",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "analyze",
+    "analyze_paths",
+    "analyze_sources",
+    "load_paths",
+    "register",
+    "select_rules",
+]

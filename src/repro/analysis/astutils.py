@@ -1,0 +1,142 @@
+"""Small AST helpers shared by the repro-lint rules.
+
+Everything here is purely syntactic — no name resolution, no type
+inference.  The rules accept the imprecision (a receiver they cannot
+name is skipped, an attribute harvested anywhere in a module counts as
+a use) because the contracts they guard are *structural*: a codec field
+list, a protocol tag set, a flush-then-process ordering.  Missing an
+exotic construction is fine; never crashing on one is mandatory.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for Name/Attribute chains, else ``None``.
+
+    Subscripts, calls, and other computed receivers return ``None`` —
+    callers treat that as "cannot track this target".
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def call_attr(call: ast.Call) -> Optional[str]:
+    """Just the final attribute of a method call (``conn.send`` → ``send``),
+    or the bare name for plain-name calls."""
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def string_constants(node: ast.AST) -> Optional[str]:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def class_slots(classdef: ast.ClassDef) -> Optional[List[str]]:
+    """The ``__slots__`` field list of a class body, or ``None``.
+
+    Understands tuple/list-of-string-literal assignments (the only form
+    the engine uses); anything fancier reads as "no slots declared".
+    """
+    for statement in classdef.body:
+        if not isinstance(statement, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__slots__"
+            for target in statement.targets
+        ):
+            continue
+        value = statement.value
+        if isinstance(value, (ast.Tuple, ast.List)):
+            names: List[str] = []
+            for element in value.elts:
+                name = string_constants(element)
+                if name is None:
+                    return None
+                names.append(name)
+            return names
+        single = string_constants(value)
+        if single is not None:
+            return [single]
+        return None
+    return None
+
+
+def dataclass_field_names(classdef: ast.ClassDef) -> List[str]:
+    """Annotated field names of a (dataclass-style) class body, in order."""
+    names: List[str] = []
+    for statement in classdef.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            names.append(statement.target.id)
+    return names
+
+
+def method(classdef: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in classdef.body:
+        if isinstance(statement, ast.FunctionDef) and statement.name == name:
+            return statement
+    return None
+
+
+def attributes_read(tree: ast.AST, receiver: Optional[str] = None) -> Set[str]:
+    """Attribute names loaded within ``tree``.
+
+    With ``receiver`` (e.g. ``"self"``), only attributes of that exact
+    name; otherwise attributes of *any* receiver — the harvest the
+    consumed-field checks run on.
+    """
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            if receiver is None or (
+                isinstance(node.value, ast.Name) and node.value.id == receiver
+            ):
+                found.add(node.attr)
+    return found
+
+
+def attributes_assigned(tree: ast.AST, receiver: str) -> Set[str]:
+    """Attribute names stored on ``receiver`` within ``tree`` (plain
+    assigns, tuple-unpack targets, and augmented assigns all carry the
+    Store context on the target attribute)."""
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+            if isinstance(node.value, ast.Name) and node.value.id == receiver:
+                found.add(node.attr)
+    return found
+
+
+def flatten_container_values(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield ``node`` and, for display containers, every nested value.
+
+    Used by the IPC-safety rule: a lambda is just as unpicklable inside
+    ``(MSG_BATCH, lambda: ...)`` as it is as a bare argument.
+    """
+    yield node
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for element in node.elts:
+            yield from flatten_container_values(element)
+    elif isinstance(node, ast.Dict):
+        for value in node.values:
+            if value is not None:
+                yield from flatten_container_values(value)
+    elif isinstance(node, ast.Starred):
+        yield from flatten_container_values(node.value)

@@ -1,0 +1,299 @@
+"""repro-lint engine: parsed modules, the rule registry, suppressions.
+
+The runtime test suite only catches an invariant violation on the paths
+it executes; the rules in :mod:`repro.analysis.rules` catch *schema
+drift* — a codec field added on one side of the transport but not the
+other, a ``MSG_*`` protocol tag without a dispatch arm, a builtin
+``hash()`` sneaking onto a routing path — the moment it is written,
+by inspecting the source as Python ``ast`` trees.  This module is the
+rule-agnostic machinery:
+
+* :class:`SourceModule` — one parsed file (path, source, tree, a lazy
+  parent map for upward navigation, and the suppression pragmas);
+* :class:`ModuleIndex` — the set of modules one analysis run sees.
+  Rules are *project-scoped*: cross-module contracts (codec coverage,
+  protocol exhaustiveness) need to see the whole tree at once;
+* :class:`Rule` + :func:`register` — the registry.  A rule is a named
+  check ``ModuleIndex → findings``; registration is import-time, so
+  importing :mod:`repro.analysis.rules` is what populates the registry;
+* :func:`analyze_paths` / :func:`analyze_sources` — the entry points
+  the CLI (``tools/lint.py``) and the fixture-based rule tests share.
+
+Suppressions
+------------
+A finding is suppressed by a pragma comment **on the flagged line**::
+
+    slot = hash(value) % num_slots  # repro-lint: disable=determinism
+
+or for a whole file by a ``disable-file`` pragma anywhere in it::
+
+    # repro-lint: disable-file=flush-contract
+
+Either form takes a comma-separated rule-name list, or ``all``.
+Pragmas are read from real COMMENT tokens (via :mod:`tokenize`), so the
+pattern inside a string literal does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+#: Matches one suppression pragma inside a comment token.
+PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+#: Pseudo-rule name findings about unparseable files are reported under.
+PARSE_RULE = "parse-error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def _pragmas(source: str) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[str]]:
+    """Extract ``(line → suppressed rules, file-wide suppressed rules)``.
+
+    Reads real comment tokens; a file that fails to tokenize (it will
+    also fail to parse, reported separately) has no pragmas.
+    """
+    per_line: Dict[int, FrozenSet[str]] = {}
+    file_wide: FrozenSet[str] = frozenset()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return per_line, file_wide
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            name.strip() for name in match.group("rules").split(",")
+        )
+        if match.group("kind") == "disable-file":
+            file_wide = file_wide | rules
+        else:
+            line = token.start[0]
+            per_line[line] = per_line.get(line, frozenset()) | rules
+    return per_line, file_wide
+
+
+class SourceModule:
+    """One parsed source file of an analysis run."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree: Optional[ast.AST] = None
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_error = exc
+        self.line_suppressions, self.file_suppressions = _pragmas(source)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child node → parent node, built on first use."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(node):
+                        parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """Nearest enclosing function definition, or ``None`` at module
+        scope."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def walk(self) -> Iterator[ast.AST]:
+        if self.tree is None:
+            return iter(())
+        return ast.walk(self.tree)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        if {rule, "all"} & self.file_suppressions:
+            return True
+        on_line = self.line_suppressions.get(line)
+        return on_line is not None and bool({rule, "all"} & on_line)
+
+
+class ModuleIndex:
+    """Every module one analysis run sees, with cross-module lookups."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = list(modules)
+
+    def classes(self, name: str) -> Iterator[Tuple[SourceModule, ast.ClassDef]]:
+        """All class definitions called ``name`` across the index."""
+        for module in self.modules:
+            for node in module.walk():
+                if isinstance(node, ast.ClassDef) and node.name == name:
+                    yield module, node
+
+    def functions(
+        self, name: str
+    ) -> Iterator[Tuple[SourceModule, ast.FunctionDef]]:
+        """All (sync) function definitions called ``name``."""
+        for module in self.modules:
+            for node in module.walk():
+                if isinstance(node, ast.FunctionDef) and node.name == name:
+                    yield module, node
+
+
+class Rule:
+    """Base class of every repro-lint rule.
+
+    Subclasses set :attr:`name` (the kebab-case slug used in CLI output
+    and suppression pragmas) and :attr:`summary`, implement
+    :meth:`check`, and register themselves with :func:`register`.
+    """
+
+    name: str = ""
+    summary: str = ""
+
+    def check(self, index: ModuleIndex) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (name must be new)."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by name.
+
+    Importing :mod:`repro.analysis.rules` populates the registry; doing
+    it here keeps ``analyze_*`` self-contained for callers that import
+    only :mod:`repro.analysis.core`.
+    """
+    from . import rules as _rules  # noqa: F401  (import-time registration)
+
+    return [_REGISTRY[name]() for name in sorted(_REGISTRY)]
+
+
+def select_rules(names: Optional[Sequence[str]]) -> List[Rule]:
+    rules = all_rules()
+    if names is None:
+        return rules
+    wanted = set(names)
+    unknown = wanted - {rule.name for rule in rules}
+    if unknown:
+        known = ", ".join(sorted(rule.name for rule in rules))
+        raise ValueError(
+            f"unknown rule(s) {sorted(unknown)}; known rules: {known}"
+        )
+    return [rule for rule in rules if rule.name in wanted]
+
+
+def analyze(
+    index: ModuleIndex, rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Run rules over an index; return unsuppressed findings, sorted."""
+    by_path = {module.path: module for module in index.modules}
+    findings: List[Finding] = []
+    for module in index.modules:
+        if module.parse_error is not None:
+            error = module.parse_error
+            findings.append(
+                Finding(
+                    PARSE_RULE,
+                    module.path,
+                    error.lineno or 1,
+                    (error.offset or 1) - 1,
+                    f"file does not parse: {error.msg}",
+                )
+            )
+    for rule in select_rules(rules):
+        for finding in rule.check(index):
+            module = by_path.get(finding.path)
+            if module is not None and module.suppresses(
+                finding.rule, finding.line
+            ):
+                continue
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def load_paths(paths: Sequence[str]) -> ModuleIndex:
+    """Build an index from files and/or directories (``*.py``, sorted)."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    modules = [
+        SourceModule(str(path), path.read_text(encoding="utf-8"))
+        for path in files
+    ]
+    return ModuleIndex(modules)
+
+
+def analyze_paths(
+    paths: Sequence[str], rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint files/directories; the CLI and the clean-tree test share it."""
+    return analyze(load_paths(paths), rules)
+
+
+def analyze_sources(
+    sources: Dict[str, str], rules: Optional[Sequence[str]] = None
+) -> List[Finding]:
+    """Lint in-memory ``{path: source}`` snippets (fixture tests)."""
+    index = ModuleIndex(
+        [SourceModule(path, text) for path, text in sorted(sources.items())]
+    )
+    return analyze(index, rules)

@@ -1,0 +1,25 @@
+"""The repro-lint rule set — importing this package registers every rule.
+
+Each module holds one engine-specific rule (see the individual module
+docstrings and ``docs/STATIC_ANALYSIS.md`` for what they guard and why):
+
+========================  ============================================
+``codec-coverage``        transport field lists match the tuple model
+``protocol-exhaustiveness``  every MSG_* tag has a sender + dispatch arm
+``determinism``           no hash()/global random/wall clock/set order
+``flush-contract``        no process()/submit() after terminal flush()
+``ipc-safety``            no unpicklable expressions on IPC arguments
+========================  ============================================
+
+Adding a rule: create a module here, subclass
+:class:`repro.analysis.core.Rule`, decorate it with
+:func:`repro.analysis.core.register`, and import the module below.
+"""
+
+from . import (  # noqa: F401  (import-time rule registration)
+    codec_coverage,
+    determinism,
+    flush_contract,
+    ipc_safety,
+    protocol,
+)

@@ -1,0 +1,216 @@
+"""Rule ``codec-coverage``: transport field lists must match the model.
+
+The columnar transport (:mod:`repro.core.blocks`) re-states the field
+list of every state-carrying class it ships: ``StreamTuple.__slots__``
+appears again as the per-tuple columns of ``TupleBlock``, as the
+attribute reads in ``BlockEncoder.encode``, and as the positional
+arguments of the ``StreamTuple.restore`` calls in ``BlockDecoder.decode``;
+every slotted block class re-states its own slots in its
+``__getstate__``/``__setstate__`` pair; ``MigrationSpec`` fields are
+consumed by the worker-side barrier code.  A field added on one side
+but not the other is silent data loss on the wire — exactly the drift
+this rule flags:
+
+* **slots↔pickle** — any class defining both ``__slots__`` and
+  ``__getstate__`` must read every slot in ``__getstate__`` and (when
+  present) store every slot in ``__setstate__``;
+* **StreamTuple↔codec** — every ``StreamTuple`` slot must be read in
+  ``BlockEncoder.encode``; every non-payload slot must be a
+  ``TupleBlock`` slot; each ``.restore(...)`` call in
+  ``BlockDecoder.decode`` must pass exactly one argument per slot
+  (``values`` is the payload and travels as the per-attribute
+  ``columns``, so it is exempt from the column check);
+* **consumed-fields** — every field of :data:`CONSUMED_FIELD_CLASSES`
+  (``MigrationSpec``, ``ShardOutcome``) must be read as an attribute
+  *somewhere* in the analyzed tree; a field nobody consumes is protocol
+  payload the other side silently ignores.
+
+All checks only fire when the named classes are present in the analyzed
+module set, so the rule is inert on unrelated code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..astutils import (
+    attributes_assigned,
+    attributes_read,
+    class_slots,
+    dataclass_field_names,
+    method,
+)
+from ..core import Finding, ModuleIndex, Rule, register
+
+#: Dataclasses whose every field must be consumed somewhere in the tree.
+CONSUMED_FIELD_CLASSES = ("MigrationSpec", "ShardOutcome")
+
+#: The StreamTuple slot that travels as the payload ``columns`` instead
+#: of as its own flat column.
+PAYLOAD_SLOT = "values"
+
+
+@register
+class CodecCoverageRule(Rule):
+    name = "codec-coverage"
+    summary = (
+        "every transported field list (StreamTuple slots, block-class "
+        "pickle state, MigrationSpec fields) must cover the model exactly"
+    )
+
+    def check(self, index: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        self._check_slots_vs_pickle(index, findings)
+        self._check_streamtuple_vs_codec(index, findings)
+        self._check_consumed_fields(index, findings)
+        return findings
+
+    # -- slots ↔ __getstate__/__setstate__ -----------------------------
+
+    def _check_slots_vs_pickle(
+        self, index: ModuleIndex, findings: List[Finding]
+    ) -> None:
+        for module in index.modules:
+            for node in module.walk():
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                slots = class_slots(node)
+                if not slots:
+                    continue
+                getstate = method(node, "__getstate__")
+                if getstate is not None:
+                    read = attributes_read(getstate, "self")
+                    for slot in slots:
+                        if slot not in read:
+                            findings.append(
+                                Finding(
+                                    self.name,
+                                    module.path,
+                                    getstate.lineno,
+                                    getstate.col_offset,
+                                    f"{node.name}.__getstate__ never reads "
+                                    f"slot {slot!r}; the field is silently "
+                                    "dropped from the pickled wire state",
+                                )
+                            )
+                setstate = method(node, "__setstate__")
+                if setstate is not None:
+                    stored = attributes_assigned(setstate, "self")
+                    for slot in slots:
+                        if slot not in stored:
+                            findings.append(
+                                Finding(
+                                    self.name,
+                                    module.path,
+                                    setstate.lineno,
+                                    setstate.col_offset,
+                                    f"{node.name}.__setstate__ never stores "
+                                    f"slot {slot!r}; decoding leaves the "
+                                    "field unset",
+                                )
+                            )
+
+    # -- StreamTuple ↔ BlockEncoder/BlockDecoder/TupleBlock ------------
+
+    def _check_streamtuple_vs_codec(
+        self, index: ModuleIndex, findings: List[Finding]
+    ) -> None:
+        tuple_classes = list(index.classes("StreamTuple"))
+        if not tuple_classes:
+            return
+        _, tuple_class = tuple_classes[0]
+        slots = class_slots(tuple_class)
+        if not slots:
+            return
+        slot_set: Set[str] = set(slots)
+
+        for module, encoder in index.classes("BlockEncoder"):
+            encode = method(encoder, "encode")
+            if encode is None:
+                continue
+            read = attributes_read(encode)
+            for slot in slots:
+                if slot not in read:
+                    findings.append(
+                        Finding(
+                            self.name,
+                            module.path,
+                            encode.lineno,
+                            encode.col_offset,
+                            f"BlockEncoder.encode never reads StreamTuple "
+                            f"slot {slot!r}; the codec drops it on encode",
+                        )
+                    )
+
+        for module, block in index.classes("TupleBlock"):
+            block_slots = class_slots(block) or []
+            for slot in sorted(slot_set - {PAYLOAD_SLOT}):
+                if slot not in block_slots:
+                    findings.append(
+                        Finding(
+                            self.name,
+                            module.path,
+                            block.lineno,
+                            block.col_offset,
+                            f"TupleBlock has no column for StreamTuple "
+                            f"slot {slot!r}; the transport cannot carry it",
+                        )
+                    )
+
+        for module, decoder in index.classes("BlockDecoder"):
+            decode = method(decoder, "decode")
+            if decode is None:
+                continue
+            for node in ast.walk(decode):
+                # Both spellings the decoder uses: the direct
+                # ``StreamTuple.restore(...)`` and calls through a local
+                # hoisted alias ``restore = StreamTuple.restore``.
+                if isinstance(node, ast.Call) and (
+                    (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "restore"
+                    )
+                    or (
+                        isinstance(node.func, ast.Name)
+                        and node.func.id == "restore"
+                    )
+                ):
+                    if len(node.args) != len(slots):
+                        findings.append(
+                            Finding(
+                                self.name,
+                                module.path,
+                                node.lineno,
+                                node.col_offset,
+                                f"StreamTuple.restore call passes "
+                                f"{len(node.args)} argument(s) but "
+                                f"StreamTuple has {len(slots)} slots; "
+                                "decode does not rebuild every field",
+                            )
+                        )
+
+    # -- dataclass fields must be consumed somewhere -------------------
+
+    def _check_consumed_fields(
+        self, index: ModuleIndex, findings: List[Finding]
+    ) -> None:
+        consumed: Set[str] = set()
+        for module in index.modules:
+            if module.tree is not None:
+                consumed |= attributes_read(module.tree)
+        for class_name in CONSUMED_FIELD_CLASSES:
+            for module, node in index.classes(class_name):
+                for field_name in dataclass_field_names(node):
+                    if field_name not in consumed:
+                        findings.append(
+                            Finding(
+                                self.name,
+                                module.path,
+                                node.lineno,
+                                node.col_offset,
+                                f"{class_name} field {field_name!r} is never "
+                                "read anywhere in the analyzed tree; the "
+                                "receiving side silently ignores it",
+                            )
+                        )

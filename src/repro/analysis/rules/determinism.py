@@ -1,0 +1,277 @@
+"""Rule ``determinism``: no nondeterminism sources on engine paths.
+
+Every correctness claim the engine makes — shard-count invariance,
+byte-identity of rebalanced vs static routing, the soak harness's
+cross-variant digests — reduces to "the same input bytes produce the
+same output bytes".  Four well-known Python constructs silently break
+that:
+
+* **builtin ``hash()``** — randomized per process for strings; routing
+  or grouping through it diverges across workers and runs.  Use
+  :func:`repro.parallel.router.stable_hash`.  (Calls inside ``__hash__``
+  methods are exempt: object hashing for in-process dict/set use is
+  what builtin ``hash`` is *for*.)
+* **module-global / unseeded randomness** — ``random.random()`` &
+  friends share interpreter-global state, and an argument-less
+  ``random.Random()`` seeds from OS entropy.  Pass a seeded
+  ``random.Random`` (see :mod:`repro.streams.seeding`).
+* **wall-clock reads** — ``time.time()`` / ``datetime.now()`` etc. leak
+  the host clock into data.  (``time.perf_counter`` / ``monotonic`` are
+  *not* flagged: measuring durations for metrics is legitimate and does
+  not flow into results.)
+* **unordered set iteration** — ``for x in {...}`` / ``list(set(...))``
+  order depends on hash values, which for strings differ per process.
+  Iteration wrapped in an order-insensitive consumer (``sorted``,
+  ``min``/``max``, ``sum``, ``len``, ``any``/``all``, ``set`` /
+  ``frozenset``) is fine.
+
+Deliberate uses (e.g. the documented int fast path inside
+``stable_hash`` itself) carry a line pragma::
+
+    return hash(value)  # repro-lint: disable=determinism
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Set, Tuple
+
+from ..astutils import dotted_name
+from ..core import Finding, ModuleIndex, Rule, SourceModule, register
+
+#: ``random`` module attributes that are fine to call (seeded-RNG and
+#: inspection entry points rather than draws from shared state).
+RANDOM_SAFE_ATTRS = {"Random", "SystemRandom"}
+
+#: Wall-clock callables by dotted suffix.
+WALL_CLOCK_ATTRS = {"now", "utcnow", "today"}
+WALL_CLOCK_CALLS = {"time.time", "time.time_ns"}
+
+#: Consumers whose output does not depend on iteration order.
+ORDER_INSENSITIVE_CALLEES = {
+    "sorted",
+    "min",
+    "max",
+    "sum",
+    "len",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Syntactically-recognizable unordered expressions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+@register
+class DeterminismRule(Rule):
+    name = "determinism"
+    summary = (
+        "no builtin hash(), module-global/unseeded random, wall-clock "
+        "reads, or unordered set iteration on engine paths"
+    )
+
+    def check(self, index: ModuleIndex) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for module in index.modules:
+            from_random = self._from_random_imports(module)
+            for node in module.walk():
+                if isinstance(node, ast.Call):
+                    self._check_call(module, node, from_random, findings)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if _is_set_expression(node.iter):
+                        findings.append(
+                            self._set_iteration_finding(module, node.iter)
+                        )
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+                ):
+                    self._check_comprehension(module, node, findings)
+        return findings
+
+    # -- imports -------------------------------------------------------
+
+    def _from_random_imports(self, module: SourceModule) -> Set[str]:
+        """Local names bound by ``from random import X`` to unsafe draws."""
+        names: Set[str] = set()
+        for node in module.walk():
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in RANDOM_SAFE_ATTRS:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    # -- calls ---------------------------------------------------------
+
+    def _check_call(
+        self,
+        module: SourceModule,
+        call: ast.Call,
+        from_random: Set[str],
+        findings: List[Finding],
+    ) -> None:
+        func = call.func
+        callee = dotted_name(func)
+
+        # builtin hash() outside __hash__ methods
+        if isinstance(func, ast.Name) and func.id == "hash":
+            enclosing = module.enclosing_function(call)
+            if not (
+                isinstance(enclosing, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and enclosing.name == "__hash__"
+            ):
+                findings.append(
+                    Finding(
+                        self.name,
+                        module.path,
+                        call.lineno,
+                        call.col_offset,
+                        "builtin hash() is randomized per process for "
+                        "strings; use repro.parallel.router.stable_hash "
+                        "for anything that routes, groups, or persists",
+                    )
+                )
+            return
+
+    # module-global random draws and unseeded Random()
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id == "random":
+                if func.attr not in RANDOM_SAFE_ATTRS:
+                    findings.append(
+                        Finding(
+                            self.name,
+                            module.path,
+                            call.lineno,
+                            call.col_offset,
+                            f"random.{func.attr}() draws from the "
+                            "interpreter-global RNG; pass a seeded "
+                            "random.Random (see repro.streams.seeding)",
+                        )
+                    )
+                    return
+                if (
+                    func.attr == "Random"
+                    and not call.args
+                    and not call.keywords
+                ):
+                    findings.append(
+                        Finding(
+                            self.name,
+                            module.path,
+                            call.lineno,
+                            call.col_offset,
+                            "random.Random() without a seed draws its "
+                            "state from OS entropy; seed it (see "
+                            "repro.streams.seeding.derived_rng)",
+                        )
+                    )
+                    return
+        if isinstance(func, ast.Name) and func.id in from_random:
+            findings.append(
+                Finding(
+                    self.name,
+                    module.path,
+                    call.lineno,
+                    call.col_offset,
+                    f"{func.id}() (from random import ...) draws from the "
+                    "interpreter-global RNG; pass a seeded random.Random",
+                )
+            )
+            return
+
+        # materializing a set in order: list({...}) / tuple({...})
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("list", "tuple")
+            and call.args
+            and _is_set_expression(call.args[0])
+        ):
+            findings.append(self._set_iteration_finding(module, call.args[0]))
+            return
+
+        # wall clock
+        if callee is not None:
+            if callee in WALL_CLOCK_CALLS:
+                findings.append(self._wall_clock_finding(module, call, callee))
+                return
+            if isinstance(func, ast.Attribute) and func.attr in WALL_CLOCK_ATTRS:
+                base = dotted_name(func.value) or ""
+                if "datetime" in base or base == "date" or base.endswith(".date"):
+                    findings.append(
+                        self._wall_clock_finding(module, call, callee)
+                    )
+                    return
+
+    def _wall_clock_finding(
+        self, module: SourceModule, call: ast.Call, callee: str
+    ) -> Finding:
+        return Finding(
+            self.name,
+            module.path,
+            call.lineno,
+            call.col_offset,
+            f"{callee}() reads the wall clock; application time must come "
+            "from tuple timestamps (time.perf_counter for duration "
+            "metrics is fine and not flagged)",
+        )
+
+    # -- set iteration -------------------------------------------------
+
+    def _comprehension_iterables(
+        self, node: ast.AST
+    ) -> Iterator[Tuple[ast.AST, ast.expr]]:
+        for generator in getattr(node, "generators", []):
+            yield node, generator.iter
+
+    def _check_comprehension(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        findings: List[Finding],
+    ) -> None:
+        for owner, iterable in self._comprehension_iterables(node):
+            if not _is_set_expression(iterable):
+                continue
+            if self._consumed_order_insensitively(module, owner):
+                continue
+            findings.append(self._set_iteration_finding(module, iterable))
+
+    def _consumed_order_insensitively(
+        self, module: SourceModule, node: ast.AST
+    ) -> bool:
+        """True when the comprehension feeds straight into an
+        order-insensitive consumer (``sorted(x for x in {...})``), or is
+        itself unordered (a set comprehension builds a set again)."""
+        if isinstance(node, ast.SetComp):
+            return True
+        parent = module.parents.get(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ORDER_INSENSITIVE_CALLEES
+            and parent.args
+            and parent.args[0] is node
+        )
+
+    def _set_iteration_finding(
+        self, module: SourceModule, iterable: ast.AST
+    ) -> Finding:
+        return Finding(
+            self.name,
+            module.path,
+            getattr(iterable, "lineno", 1),
+            getattr(iterable, "col_offset", 0),
+            "iteration over an unordered set; order depends on per-process "
+            "string hashing — wrap the set in sorted(...) before iterating",
+        )

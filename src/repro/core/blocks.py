@@ -41,13 +41,44 @@ from absent attributes.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+    cast,
+)
 
 from .tuples import JoinResult, StreamTuple
 
 #: Pickle protocol for block messages (out-of-band-buffer capable;
 #: available on every supported interpreter, 3.8+).
 PICKLE_PROTOCOL = 5
+
+#: A state-block payload leg: raw tuples (serial executor / object
+#: transport) or one columnar block (block transport).
+StatePayload = Union[List[StreamTuple], "TupleBlock"]
+
+#: Bare pickle-state tuples (kept positional — see the ``__getstate__``
+#: comments); the aliases keep the mypy-strict signatures readable.
+_TupleBlockState = Tuple[
+    int,
+    Optional[Tuple[str, ...]],
+    bool,
+    List[int],
+    List[int],
+    List[int],
+    List[int],
+    List[int],
+    List[List[Any]],
+]
+_ResultBlockState = Tuple[int, List[int], List[int], "TupleBlock"]
+_StateBlockState = Tuple[int, int, Tuple[int, ...], StatePayload, StatePayload]
 
 
 class _MissingType:
@@ -66,7 +97,7 @@ class _MissingType:
             cls._instance = super().__new__(cls)
         return cls._instance
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Type["_MissingType"], Tuple[()]]:
         return (_MissingType, ())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -109,7 +140,7 @@ class TupleBlock:
         seq: List[int],
         arrival: List[int],
         delay: List[int],
-        columns: List[list],
+        columns: List[List[Any]],
     ) -> None:
         self.schema_id = schema_id
         self.attributes = attributes
@@ -126,7 +157,7 @@ class TupleBlock:
 
     # Bare state tuple: the block is the unit of IPC, so its own pickle
     # framing is kept as small as the tuples' (cf. StreamTuple).
-    def __getstate__(self) -> Tuple:
+    def __getstate__(self) -> _TupleBlockState:
         return (
             self.schema_id,
             self.attributes,
@@ -139,7 +170,7 @@ class TupleBlock:
             self.columns,
         )
 
-    def __setstate__(self, state: Tuple) -> None:
+    def __setstate__(self, state: _TupleBlockState) -> None:
         (
             self.schema_id,
             self.attributes,
@@ -185,10 +216,10 @@ class ResultBlock:
     def __len__(self) -> int:
         return len(self.ts)
 
-    def __getstate__(self) -> Tuple:
+    def __getstate__(self) -> _ResultBlockState:
         return (self.arity, self.ts, self.component_indexes, self.components)
 
-    def __setstate__(self, state: Tuple) -> None:
+    def __setstate__(self, state: _ResultBlockState) -> None:
         self.arity, self.ts, self.component_indexes, self.components = state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -226,8 +257,8 @@ class StateBlock:
         source: int,
         dest: int,
         slots: Tuple[int, ...],
-        window,
-        pending,
+        window: StatePayload,
+        pending: StatePayload,
     ) -> None:
         self.source = source
         self.dest = dest
@@ -235,10 +266,10 @@ class StateBlock:
         self.window = window
         self.pending = pending
 
-    def __getstate__(self) -> Tuple:
+    def __getstate__(self) -> _StateBlockState:
         return (self.source, self.dest, self.slots, self.window, self.pending)
 
-    def __setstate__(self, state: Tuple) -> None:
+    def __setstate__(self, state: _StateBlockState) -> None:
         self.source, self.dest, self.slots, self.window, self.pending = state
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -268,9 +299,11 @@ def encode_state(
 
 def decode_state(block: StateBlock) -> Tuple[List[StreamTuple], List[StreamTuple]]:
     """Unpack a columnar :class:`StateBlock` into ``(window, pending)``."""
+    # A decoded StateBlock always carries TupleBlock legs (encode_state
+    # built it); the cast states that one-sided invariant for mypy.
     return (
-        BlockDecoder().decode(block.window),
-        BlockDecoder().decode(block.pending),
+        BlockDecoder().decode(cast(TupleBlock, block.window)),
+        BlockDecoder().decode(cast(TupleBlock, block.pending)),
     )
 
 
@@ -303,7 +336,7 @@ class BlockEncoder:
         seq_col: List[int] = []
         arrival_col: List[int] = []
         delay_col: List[int] = []
-        payloads: List[dict] = []
+        payloads: List[Dict[str, Any]] = []
         for i in range(start, stop):
             t = batch[i]
             ts_col.append(t.ts)
@@ -342,6 +375,7 @@ class BlockEncoder:
             schema_id, attrs = entry
             inline = None
 
+        columns: List[List[Any]]
         if uniform and attrs == natural:
             columns = [[v[a] for v in payloads] for a in attrs]
             has_missing = False

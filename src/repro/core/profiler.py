@@ -26,7 +26,7 @@ interval).  The snapshot answers the two questions of Sec. IV-B/IV-C:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .statistics import coarse_delay
 from .tuples import StreamTuple
@@ -188,7 +188,10 @@ class TupleProductivityProfiler:
             mean_on = self._previous_mean_on
         interval_on = self._interval_on_sum + self._interval_out_of_order * mean_on
         if self.smoothing > 0.0:
-            for d in set(self._smooth_cross) | set(self._smooth_on):
+            # sorted(): canonical decay order — set-union iteration would
+            # make the smoothed maps' key insertion order (and any float
+            # accumulation over them) depend on per-process hashing.
+            for d in sorted(set(self._smooth_cross) | set(self._smooth_on)):
                 self._smooth_cross[d] = self._smooth_cross.get(d, 0.0) * self.smoothing
                 self._smooth_on[d] = self._smooth_on.get(d, 0.0) * self.smoothing
             for d, value in self._m_cross.items():

@@ -36,7 +36,7 @@ verifies this against the reference).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 from ..core.synchronizer import Synchronizer
 from ..core.tuples import JoinResult, StreamTuple

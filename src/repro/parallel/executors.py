@@ -40,7 +40,6 @@ from .shard import (
     MSG_MIGRATE_IN,
     MSG_MIGRATE_OUT,
     TRANSPORT_BLOCKS,
-    TRANSPORT_OBJECTS,
     TRANSPORTS,
     Outputs,
     ShardOutcome,

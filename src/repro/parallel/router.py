@@ -65,7 +65,7 @@ def stable_hash(value: object) -> int:
     if isinstance(value, numbers.Number):
         if value != value:  # NaN: id-based hash since 3.10; pin it
             return 0x7FC00000
-        return hash(value)
+        return hash(value)  # repro-lint: disable=determinism
     if isinstance(value, tuple):
         combined = 0x345678
         for item in value:
@@ -258,7 +258,9 @@ class KeyRouter:
                 )
             value = t.values.get(attr_of[stream])
             if type(value) is int:
-                slot = hash(value) % num_slots
+                # Int fast path: hash(int) is process-stable by design
+                # (stable_hash's own numeric branch relies on it).
+                slot = hash(value) % num_slots  # repro-lint: disable=determinism
             else:
                 slot = _hash(value) % num_slots
             loads[slot] += 1

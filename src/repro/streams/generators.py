@@ -27,8 +27,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.tuples import StreamTuple, seconds
 from .disorder import DelayModel, ZipfDelayModel
-from .source import Dataset, merge_by_arrival
 from .seeding import derived_rng
+from .source import Dataset, merge_by_arrival
 from .zipf import ZipfValueSampler
 
 #: Paper defaults for the synthetic datasets.

@@ -56,8 +56,8 @@ reproduces the identical dataset across processes and interpreter runs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.tuples import StreamTuple
 from ..join.conditions import EquiPredicate, JoinCondition, equi_join_chain

@@ -32,8 +32,8 @@ from typing import List, Optional, Tuple
 
 from ..core.tuples import StreamTuple, seconds
 from .disorder import BurstyDelayModel, DelayModel
-from .source import Dataset, merge_by_arrival
 from .seeding import derived_rng
+from .source import Dataset, merge_by_arrival
 
 #: FIFA standard pitch dimensions in meters.
 PITCH_LENGTH_M = 105.0

@@ -44,7 +44,7 @@ class BoundedZipf:
             raise ValueError(f"skew must be non-negative, got {skew}")
         self.n = n
         self.skew = skew
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random()  # repro-lint: disable=determinism  (caller opted out of seeding)
         self._cdf = self._build_cdf(n, skew)
 
     @staticmethod
@@ -106,7 +106,7 @@ class ZipfValueSampler:
         if not support:
             raise ValueError("support must be non-empty")
         self.support = list(support)
-        self._rng = rng if rng is not None else random.Random()
+        self._rng = rng if rng is not None else random.Random()  # repro-lint: disable=determinism  (caller opted out of seeding)
         self._zipf = BoundedZipf(len(self.support), skew, self._rng)
 
     @property

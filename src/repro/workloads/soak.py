@@ -46,8 +46,8 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.pipeline import PipelineConfig
 from ..core.adaptation import FixedKPolicy
+from ..core.pipeline import PipelineConfig
 from ..core.tuples import JoinResult, StreamTuple
 from ..parallel.executors import SerialExecutor
 from ..parallel.pipeline import PartitionedPipeline

@@ -4,7 +4,6 @@ The optimized implementation (cumulative + strided prefix sums) is checked
 against a direct brute-force evaluation of the paper's equations.
 """
 
-import math
 import random
 
 import pytest

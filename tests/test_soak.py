@@ -13,8 +13,6 @@ Two halves:
   recall but keeps byte-identity intact).
 """
 
-import pytest
-
 from repro import JoinResult, StreamTuple
 from repro.workloads.soak import (
     ALL_CHECKS,

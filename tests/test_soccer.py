@@ -1,10 +1,10 @@
 """Unit tests for the simulated soccer dataset (repro.streams.soccer)."""
 
 import math
+import random
 
 from repro import SoccerConfig, make_soccer_dataset, player_distance, seconds
 from repro.streams.soccer import PITCH_LENGTH_M, PITCH_WIDTH_M, _Player
-import random
 
 
 def _small_config(**overrides):

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""repro-lint CLI: the engine's AST-based contract & determinism gate.
+
+Runs every registered rule of :mod:`repro.analysis.rules` over the given
+files/directories (default: ``src``) and prints one line per finding::
+
+    src/repro/foo.py:12:4: determinism: builtin hash() is randomized ...
+
+Examples::
+
+    python tools/lint.py src                  # the CI lint gate
+    python tools/lint.py src tools            # include the tool scripts
+    python tools/lint.py --select determinism,flush-contract src
+    python tools/lint.py --list-rules
+
+Suppress a finding with a pragma on the flagged line
+(``# repro-lint: disable=<rule>[,<rule>...]``) or file-wide with
+``# repro-lint: disable-file=<rule>``; see ``docs/STATIC_ANALYSIS.md``.
+
+Exit status 0 when clean, 1 when any finding survives suppression.
+Used by the CI ``lint`` job and by ``tests/test_lint.py``, so the tier-1
+suite catches contract drift locally too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+# Self-bootstrapping src layout: works from a checkout without install.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+from repro.analysis import all_rules, analyze_paths  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files and/or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.summary}")
+        return 0
+
+    selected = (
+        [name.strip() for name in args.select.split(",") if name.strip()]
+        if args.select
+        else None
+    )
+    try:
+        findings = analyze_paths(args.paths, selected)
+    except (ValueError, OSError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    checked = sum(1 for _ in all_rules()) if selected is None else len(selected)
+    status = "FAIL" if findings else "ok"
+    print(
+        f"[{status}] repro-lint: {len(findings)} finding(s), "
+        f"{checked} rule(s), paths: {', '.join(args.paths)}",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
