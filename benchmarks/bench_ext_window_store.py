@@ -1,0 +1,159 @@
+"""Extension — tiered window store: bounded residency, identical output.
+
+Runs the NEXMark-style auction-bid chain join once per (window size ×
+window store) cell and gates on two deterministic identities:
+
+* **Output identity.**  The tiered store (bounded hot object tier over
+  columnar cold segments) must produce exactly the in-memory store's
+  result count and ``JoinStatistics`` — the store changes the memory
+  shape of the join state, never its output.
+* **Residency bound.**  At the long-window setting, the tiered store's
+  sampled peak resident-object count (hot tier + decode cache) must be
+  at most :data:`RESIDENT_RATIO_GATE` (0.5×) of the in-memory store's —
+  the point of tiering.  The hot budget is derived from the measured
+  in-memory baseline (⅛ of its per-stream peak), so the gate holds at
+  any ``REPRO_BENCH_SCALE`` without hand-tuned constants.
+
+The printed report records, per cell: peak resident objects, peak
+hot-tier objects, peak encoded cold bytes, decode hits/misses, and the
+result count — the numbers behind the docs/BENCHMARKS.md rows.
+"""
+
+from common import report, scaled
+
+from repro import (
+    FixedKPolicy,
+    NexmarkConfig,
+    PipelineConfig,
+    QualityDrivenPipeline,
+    TieredStoreConfig,
+    auction_bid_query,
+    make_auction_bids,
+    seconds,
+)
+
+#: Long-window tiered residency must be ≤ this fraction of in-memory.
+RESIDENT_RATIO_GATE = 0.5
+
+#: Window sizes (seconds): the contrast cell is the long window, where
+#: in-memory residency grows with window content and tiering pays off.
+SHORT_WINDOW_S = 0.5
+LONG_WINDOW_S = 4.0
+
+CHUNK = 128
+
+
+def _dataset():
+    return make_auction_bids(
+        NexmarkConfig(
+            num_bid_channels=2,
+            num_phases=3,
+            phase_duration_ms=scaled(4_000, floor=1_000),
+            seed=7,
+        )
+    )
+
+
+def _config(condition, num_streams, k_ms, window_s, store):
+    return PipelineConfig(
+        window_sizes_ms=[seconds(window_s)] * num_streams,
+        condition=condition,
+        gamma=0.95,
+        period_ms=15_000,
+        interval_ms=1_000,
+        policy=FixedKPolicy(k_ms),
+        initial_k_ms=k_ms,
+        collect_results=False,
+        store=store,
+    )
+
+
+def _run(dataset, condition, k_ms, window_s, store):
+    pipeline = QualityDrivenPipeline(
+        _config(condition, dataset.num_streams, k_ms, window_s, store)
+    )
+    arrivals = list(dataset.arrivals())
+    count = 0
+    for start in range(0, len(arrivals), CHUNK):
+        count += pipeline.process_batch(arrivals[start:start + CHUNK])
+    count += pipeline.flush()
+    return count, pipeline.join.stats.as_dict(), pipeline.metrics
+
+
+def _cell_row(window_s, label, count, metrics):
+    resident = sum(metrics.stream_resident_objects)
+    hot = sum(metrics.stream_hot_objects)
+    encoded = sum(metrics.stream_encoded_bytes)
+    return (
+        f"{window_s:.1f}s",
+        label,
+        resident,
+        hot,
+        encoded,
+        f"{metrics.decode_hits}/{metrics.decode_misses}",
+        count,
+    )
+
+
+def _sweep():
+    dataset = _dataset()
+    condition = auction_bid_query(2)
+    k_ms = dataset.max_delay()
+    rows = []
+    outcomes = {}
+    for window_s in (SHORT_WINDOW_S, LONG_WINDOW_S):
+        mem_count, mem_stats, mem_metrics = _run(
+            dataset, condition, k_ms, window_s, None
+        )
+        rows.append(_cell_row(window_s, "in-memory", mem_count, mem_metrics))
+        # Budget: ⅛ of the measured per-stream in-memory peak (floor 16)
+        # — scale-independent, and low enough that hot + decode cache
+        # stay well under the 0.5× residency gate.
+        per_stream_peak = max(mem_metrics.stream_resident_objects or [16])
+        budget = max(16, per_stream_peak // 8)
+        tiered_config = TieredStoreConfig(
+            hot_budget=budget,
+            bucket_span_ms=max(50, int(window_s * 1000) // 20),
+            cache_tuples=budget,
+        )
+        tier_count, tier_stats, tier_metrics = _run(
+            dataset, condition, k_ms, window_s, tiered_config
+        )
+        rows.append(
+            _cell_row(window_s, f"tiered (budget={budget})", tier_count,
+                      tier_metrics)
+        )
+        outcomes[window_s] = (
+            mem_count, mem_stats, mem_metrics,
+            tier_count, tier_stats, tier_metrics,
+        )
+    return rows, outcomes
+
+
+def test_ext_window_store(benchmark):
+    rows, outcomes = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report(
+        "ext_window_store",
+        "Extension — tiered window store: peak state residency vs "
+        "in-memory, identical output",
+        ["window", "store", "peak resident", "peak hot", "peak enc bytes",
+         "decode h/m", "results"],
+        rows,
+    )
+    for window_s, (
+        mem_count, mem_stats, mem_metrics,
+        tier_count, tier_stats, tier_metrics,
+    ) in outcomes.items():
+        # Identity: same results, same join counters, either store.
+        assert tier_count == mem_count, f"window={window_s}"
+        assert tier_stats == mem_stats, f"window={window_s}"
+        # The cold tier actually engaged.
+        assert sum(tier_metrics.stream_encoded_bytes) > 0, f"window={window_s}"
+    # Residency gate at the long-window setting.
+    _, _, mem_metrics, _, _, tier_metrics = outcomes[LONG_WINDOW_S]
+    mem_peak = sum(mem_metrics.stream_resident_objects)
+    tier_peak = sum(tier_metrics.stream_resident_objects)
+    assert tier_peak <= RESIDENT_RATIO_GATE * mem_peak, (
+        f"tiered resident peak {tier_peak} exceeds "
+        f"{RESIDENT_RATIO_GATE}x in-memory peak {mem_peak}"
+    )

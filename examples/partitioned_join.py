@@ -18,8 +18,15 @@ high-throughput configuration for the process executor is
 Run with::
 
     python examples/partitioned_join.py
+    python examples/partitioned_join.py --store tiered --hot-budget 256
+
+``--store tiered`` runs every variant on the tiered window store — a
+bounded hot object tier over columnar cold segments — and the multiset
+comparison doubles as the byte-identity demo: the store changes the
+memory shape of the join state, never its output.
 """
 
+import argparse
 import time
 from collections import Counter
 
@@ -27,6 +34,7 @@ from repro import (
     FixedKPolicy,
     PipelineConfig,
     QualityDrivenPipeline,
+    TieredStoreConfig,
     equi_join_chain,
     make_d3_syn,
     run_partitioned,
@@ -34,6 +42,44 @@ from repro import (
 )
 
 CONDITION = equi_join_chain("a1", 3)
+
+#: Window-store spec every pipeline below runs on (set by --store).
+STORE = None
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--store",
+        choices=("memory", "tiered"),
+        default="memory",
+        help="window store backing every shard's join state "
+             "(default: memory)",
+    )
+    parser.add_argument(
+        "--hot-budget", type=int, default=None, metavar="N",
+        help="tiered hot-tier budget in tuples (implies --store tiered)",
+    )
+    parser.add_argument(
+        "--bucket-span-ms", type=int, default=None, metavar="MS",
+        help="tiered cold-bucket span in ms (implies --store tiered)",
+    )
+    return parser.parse_args(argv)
+
+
+def store_spec(args):
+    if (
+        args.store != "tiered"
+        and args.hot_budget is None
+        and args.bucket_span_ms is None
+    ):
+        return None
+    overrides = {}
+    if args.hot_budget is not None:
+        overrides["hot_budget"] = args.hot_budget
+    if args.bucket_span_ms is not None:
+        overrides["bucket_span_ms"] = args.bucket_span_ms
+    return TieredStoreConfig(**overrides)
 
 
 def config(k_ms):
@@ -46,10 +92,16 @@ def config(k_ms):
         policy=FixedKPolicy(k_ms),
         initial_k_ms=k_ms,
         collect_results=True,
+        store=STORE,
     )
 
 
-def main():
+def main(argv=None):
+    global STORE
+    args = parse_args(argv)
+    STORE = store_spec(args)
+    if STORE is not None:
+        print(f"window store: {STORE}\n")
     dataset = make_d3_syn(duration_ms=seconds(40), seed=42, inter_arrival_ms=20)
     print(dataset.describe())
     print(f"partition key assignment: {CONDITION.partition_attributes(3)}")
@@ -68,6 +120,15 @@ def main():
         f"{'single pipeline':<22} {len(baseline):>8} results  "
         f"{elapsed:6.2f} s  {len(dataset) / elapsed:>9,.0f} tuples/s"
     )
+    if STORE is not None:
+        m = single.metrics
+        print(
+            f"{'':<22} state peaks per stream: "
+            f"resident={m.stream_resident_objects} "
+            f"hot={m.stream_hot_objects} "
+            f"encoded_bytes={m.stream_encoded_bytes} "
+            f"decode hits/misses={m.decode_hits}/{m.decode_misses}"
+        )
 
     for executor in ("serial", "process"):
         for shards in (2, 4):

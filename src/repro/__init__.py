@@ -64,6 +64,14 @@ from .join.conditions import (
 )
 from .join.mswj import MSWJOperator
 from .join.ordering import IndexAwareOrder, ProbeOrderPolicy, SmallestWindowFirst
+from .join.store import (
+    InMemoryStore,
+    StoreMetrics,
+    TieredStore,
+    TieredStoreConfig,
+    WindowStore,
+    make_store,
+)
 from .join.window import SlidingWindow
 from .parallel import (
     TRANSPORT_BLOCKS,
@@ -131,6 +139,9 @@ __all__ = [
     "EquiPredicate", "BandPredicate", "ThetaPredicate", "equi_join_chain",
     "star_equi_join", "ProbeOrderPolicy", "SmallestWindowFirst",
     "IndexAwareOrder",
+    # window stores
+    "WindowStore", "InMemoryStore", "TieredStore", "TieredStoreConfig",
+    "StoreMetrics", "make_store",
     # parallel scale-out
     "PartitionedPipeline", "KeyRouter", "ShardExecutor", "SerialExecutor",
     "MultiprocessingExecutor", "ShardOutcome", "run_partitioned",

@@ -24,6 +24,17 @@ this rule flags:
   (``MigrationSpec``, ``ShardOutcome``) must be read as an attribute
   *somewhere* in the analyzed tree; a field nobody consumes is protocol
   payload the other side silently ignores.
+* **cold-segment** — ``ColdSegment`` (the tiered window store's frozen
+  cold-tier unit) must define the ``__getstate__``/``__setstate__`` pair
+  (otherwise the slots↔pickle check above is silently inert on it and a
+  new slot would vanish from migrated state); ``freeze_segment`` must
+  delegate to a ``.encode(...)`` call and ``thaw_segment`` to a
+  ``.decode(...)`` call, so a slot added to ``StreamTuple`` rides the
+  cold-tier encode path through the same ``BlockEncoder``/``BlockDecoder``
+  the StreamTuple↔codec check pins; and every ``ColdSegment(...)``
+  construction inside ``freeze_segment`` must pass exactly one argument
+  per ``ColdSegment`` slot, so a new cold-segment field cannot be left
+  unset at the one place segments are born.
 
 All checks only fire when the named classes are present in the analyzed
 module set, so the rule is inert on unrelated code.
@@ -64,6 +75,7 @@ class CodecCoverageRule(Rule):
         self._check_slots_vs_pickle(index, findings)
         self._check_streamtuple_vs_codec(index, findings)
         self._check_consumed_fields(index, findings)
+        self._check_cold_segment(index, findings)
         return findings
 
     # -- slots ↔ __getstate__/__setstate__ -----------------------------
@@ -189,6 +201,92 @@ class CodecCoverageRule(Rule):
                                 "decode does not rebuild every field",
                             )
                         )
+
+    # -- ColdSegment ↔ freeze/thaw delegation --------------------------
+
+    def _check_cold_segment(
+        self, index: ModuleIndex, findings: List[Finding]
+    ) -> None:
+        segment_classes = list(index.classes("ColdSegment"))
+        if not segment_classes:
+            return
+        for module, segment in segment_classes:
+            for required in ("__getstate__", "__setstate__"):
+                if method(segment, required) is None:
+                    findings.append(
+                        Finding(
+                            self.name,
+                            module.path,
+                            segment.lineno,
+                            segment.col_offset,
+                            f"ColdSegment defines no {required}; without the "
+                            "explicit pickle pair the slots↔pickle check "
+                            "cannot pin its wire state and a new slot would "
+                            "silently vanish from migrated cold segments",
+                        )
+                    )
+        segment_slots = class_slots(segment_classes[0][1])
+
+        for fn_name, codec_call in (
+            ("freeze_segment", "encode"),
+            ("thaw_segment", "decode"),
+        ):
+            defs = list(index.functions(fn_name))
+            if not defs:
+                findings.append(
+                    Finding(
+                        self.name,
+                        segment_classes[0][0].path,
+                        segment_classes[0][1].lineno,
+                        segment_classes[0][1].col_offset,
+                        f"ColdSegment is defined but no {fn_name}() exists; "
+                        "the cold tier has lost its codec entry point",
+                    )
+                )
+                continue
+            for module, fn in defs:
+                delegates = any(
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == codec_call
+                    for node in ast.walk(fn)
+                )
+                if not delegates:
+                    findings.append(
+                        Finding(
+                            self.name,
+                            module.path,
+                            fn.lineno,
+                            fn.col_offset,
+                            f"{fn_name} never calls .{codec_call}(...); the "
+                            "cold tier must delegate to the columnar codec "
+                            "so StreamTuple slot coverage carries over to "
+                            "frozen segments",
+                        )
+                    )
+                if fn_name != "freeze_segment" or not segment_slots:
+                    continue
+                for node in ast.walk(fn):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id == "ColdSegment"
+                    ):
+                        supplied = len(node.args) + len(node.keywords)
+                        if supplied != len(segment_slots):
+                            findings.append(
+                                Finding(
+                                    self.name,
+                                    module.path,
+                                    node.lineno,
+                                    node.col_offset,
+                                    f"ColdSegment(...) in freeze_segment "
+                                    f"passes {supplied} argument(s) but "
+                                    f"ColdSegment has {len(segment_slots)} "
+                                    "slots; a cold-segment field is left "
+                                    "unset where segments are built",
+                                )
+                            )
 
     # -- dataclass fields must be consumed somewhere -------------------
 

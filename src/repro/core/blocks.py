@@ -22,6 +22,13 @@ get their scaling from exactly this kind of cheap bulk transport:
   state of migrated routing slots, shipped source worker → parent →
   destination worker when the skew-aware router moves slots between
   shards (see :mod:`repro.parallel.rebalancer`).
+* :class:`ColdSegment` — the tiered window store's cold-tier unit
+  (see :mod:`repro.join.store`): one slot-ordered run of window tuples
+  frozen into a :class:`TupleBlock`, carrying the slot ids, the time
+  range, and per-attribute value summaries probes use to skip the
+  segment without decoding.  Cold segments are *already encoded*, so a
+  shard-state migration ships them inside the :class:`StateBlock`
+  window leg verbatim — no decode/re-encode round trip.
 
 Schema negotiation
 ------------------
@@ -41,6 +48,7 @@ from absent attributes.
 
 from __future__ import annotations
 
+import pickle
 from typing import (
     Any,
     Dict,
@@ -64,6 +72,18 @@ PICKLE_PROTOCOL = 5
 #: transport) or one columnar block (block transport).
 StatePayload = Union[List[StreamTuple], "TupleBlock"]
 
+#: One item of a state-block *window* leg in decoded (adoptable) form:
+#: a raw tuple, or a still-frozen cold segment that the destination
+#: store installs without decoding.
+WindowStateItem = Union[StreamTuple, "ColdSegment"]
+
+#: The window leg of a :class:`StateBlock`, kept in source slot (=
+#: insertion) order: raw tuples (serial executor), :class:`TupleBlock`
+#: runs (block transport packs consecutive raw tuples), and
+#: :class:`ColdSegment` items (either executor — they are already
+#: encoded and ship verbatim).
+WindowPayload = List[Union[StreamTuple, "TupleBlock", "ColdSegment"]]
+
 #: Bare pickle-state tuples (kept positional — see the ``__getstate__``
 #: comments); the aliases keep the mypy-strict signatures readable.
 _TupleBlockState = Tuple[
@@ -78,7 +98,15 @@ _TupleBlockState = Tuple[
     List[List[Any]],
 ]
 _ResultBlockState = Tuple[int, List[int], List[int], "TupleBlock"]
-_StateBlockState = Tuple[int, int, Tuple[int, ...], StatePayload, StatePayload]
+_StateBlockState = Tuple[int, int, Tuple[int, ...], "WindowPayload", StatePayload]
+_ColdSegmentState = Tuple[
+    "TupleBlock",
+    Tuple[int, ...],
+    int,
+    int,
+    Dict[str, FrozenSet[Any]],
+    int,
+]
 
 
 class _MissingType:
@@ -238,16 +266,19 @@ class StateBlock:
     those slots crosses the parent twice — source worker → parent →
     destination worker — as one ``StateBlock`` per destination.
 
-    ``window`` carries the tuples removed from the source's join windows
-    (per-window insertion order preserved, so re-inserting in sequence
-    reproduces probe candidate order) and ``pending`` the tuples still in
-    flight in the source's disorder-handling front.  Both are either raw
-    :class:`~repro.core.tuples.StreamTuple` lists (serial executor /
-    object transport) or :class:`TupleBlock` columns (block transport).
-    Unlike the steady-state tuple stream, state blocks are rare one-shot
-    messages, so each is self-contained: :func:`encode_state` uses fresh
-    encoders whose schemas travel inline, and :func:`decode_state` pairs
-    them with fresh decoders — no connection-level schema negotiation.
+    ``window`` carries the state removed from the source's join windows
+    as a :data:`WindowPayload` — slot-ordered items that are raw tuples,
+    :class:`TupleBlock` runs, or already-frozen :class:`ColdSegment`
+    objects from a tiered store's cold tier (re-adopting the items in
+    sequence reproduces probe candidate order); ``pending`` carries the
+    tuples still in flight in the source's disorder-handling front,
+    either as a raw :class:`~repro.core.tuples.StreamTuple` list (serial
+    executor / object transport) or as :class:`TupleBlock` columns
+    (block transport).  Unlike the steady-state tuple stream, state
+    blocks are rare one-shot messages, so each is self-contained:
+    :func:`encode_state` uses fresh encoders whose schemas travel
+    inline, and :func:`decode_state` pairs them with fresh decoders — no
+    connection-level schema negotiation.
     """
 
     __slots__ = ("source", "dest", "slots", "window", "pending")
@@ -257,7 +288,7 @@ class StateBlock:
         source: int,
         dest: int,
         slots: Tuple[int, ...],
-        window: StatePayload,
+        window: WindowPayload,
         pending: StatePayload,
     ) -> None:
         self.source = source
@@ -279,32 +310,185 @@ class StateBlock:
         )
 
 
+class ColdSegment:
+    """A frozen cold-tier window segment (see :mod:`repro.join.store`).
+
+    One slot-ordered run of a single stream's window tuples in columnar
+    form.  ``slots`` are the owning store's slot ids (strictly
+    increasing within the segment); ``min_ts`` / ``max_ts`` bound the
+    contained timestamps, so expiry can drop or thaw a segment without
+    decoding; ``summaries`` maps each indexed attribute to the frozenset
+    of its distinct values, so an equality probe skips the segment when
+    the probed value cannot match; ``encoded_bytes`` is the segment's
+    pickled size, the cold tier's memory-accounting unit.
+
+    The block inside is self-contained (fresh encoder, schema inline),
+    so a segment can cross a process boundary verbatim — the tier-aware
+    migration path ships cold state this way, with no decode/re-encode
+    round trip.
+    """
+
+    __slots__ = ("block", "slots", "min_ts", "max_ts", "summaries", "encoded_bytes")
+
+    def __init__(
+        self,
+        block: TupleBlock,
+        slots: Tuple[int, ...],
+        min_ts: int,
+        max_ts: int,
+        summaries: Dict[str, FrozenSet[Any]],
+        encoded_bytes: int,
+    ) -> None:
+        self.block = block
+        self.slots = slots
+        self.min_ts = min_ts
+        self.max_ts = max_ts
+        self.summaries = summaries
+        self.encoded_bytes = encoded_bytes
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def stream(self) -> int:
+        """The owning stream (segments are single-stream by construction)."""
+        return self.block.stream[0]
+
+    def with_slots(self, slots: Tuple[int, ...]) -> "ColdSegment":
+        """The same frozen content under new (destination) slot ids."""
+        return ColdSegment(
+            self.block, slots, self.min_ts, self.max_ts,
+            self.summaries, self.encoded_bytes,
+        )
+
+    def __getstate__(self) -> _ColdSegmentState:
+        return (
+            self.block,
+            self.slots,
+            self.min_ts,
+            self.max_ts,
+            self.summaries,
+            self.encoded_bytes,
+        )
+
+    def __setstate__(self, state: _ColdSegmentState) -> None:
+        (
+            self.block,
+            self.slots,
+            self.min_ts,
+            self.max_ts,
+            self.summaries,
+            self.encoded_bytes,
+        ) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColdSegment(n={len(self.slots)}, ts=[{self.min_ts},{self.max_ts}], "
+            f"bytes={self.encoded_bytes})"
+        )
+
+
+def freeze_segment(
+    batch: Sequence[StreamTuple],
+    slots: Sequence[int],
+    summary_attributes: Sequence[str],
+) -> ColdSegment:
+    """Freeze a slot-ordered run of window tuples into a cold segment.
+
+    The entire tuple payload travels through :meth:`BlockEncoder.encode`
+    — the single cold-tier encode path — so every
+    :class:`~repro.core.tuples.StreamTuple` slot the codec covers is
+    covered here too (the repro-lint ``codec-coverage`` rule pins this
+    delegation).  ``summary_attributes`` are the store's indexed
+    attributes; their distinct values become the probe-skip summaries.
+    """
+    if not batch:
+        raise ValueError("cannot freeze an empty segment")
+    if len(batch) != len(slots):
+        raise ValueError(f"{len(batch)} tuples but {len(slots)} slots")
+    block = BlockEncoder().encode(batch)
+    summaries: Dict[str, FrozenSet[Any]] = {
+        attr: frozenset(t.get(attr) for t in batch) for attr in summary_attributes
+    }
+    encoded_bytes = len(pickle.dumps(block, PICKLE_PROTOCOL))
+    return ColdSegment(
+        block, tuple(slots), min(block.ts), max(block.ts), summaries, encoded_bytes
+    )
+
+
+def thaw_segment(segment: ColdSegment) -> List[StreamTuple]:
+    """Decode a cold segment back into tuples (segment slot order)."""
+    return BlockDecoder().decode(segment.block)
+
+
+def segment_column(segment: ColdSegment, attr: str) -> List[Any]:
+    """Per-tuple payload values of ``attr`` without decoding the segment.
+
+    Absent cells (attribute missing from a tuple's payload) come back as
+    ``None`` — exactly what ``t.values.get(attr)`` would have produced —
+    so migration classifiers can partition a frozen segment by reading
+    one column instead of materializing tuple objects.
+    """
+    block = segment.block
+    attrs = block.attributes  # always inline: segments use fresh encoders
+    if attrs is None or attr not in attrs:
+        return [None] * len(block)
+    column = block.columns[attrs.index(attr)]
+    if block.has_missing:
+        return [None if v is MISSING else v for v in column]
+    return list(column)
+
+
 def encode_state(
     source: int,
     dest: int,
     slots: Tuple[int, ...],
-    window: Sequence[StreamTuple],
+    window: Sequence[WindowStateItem],
     pending: Sequence[StreamTuple],
 ) -> StateBlock:
     """Pack a migration payload columnar-side for the pipe (see
-    :class:`StateBlock`)."""
-    return StateBlock(
-        source,
-        dest,
-        slots,
-        BlockEncoder().encode(window),
-        BlockEncoder().encode(pending),
-    )
+    :class:`StateBlock`).
+
+    Runs of consecutive raw tuples in the window leg are packed into
+    :class:`TupleBlock` columns (one shared encoder, schemas inline on
+    first use); :class:`ColdSegment` items are already encoded and pass
+    through untouched — the tier-aware half of the migration path.
+    """
+    encoder = BlockEncoder()
+    packed: WindowPayload = []
+    run: List[StreamTuple] = []
+    for item in window:
+        if isinstance(item, ColdSegment):
+            if run:
+                packed.append(encoder.encode(run))
+                run = []
+            packed.append(item)
+        else:
+            run.append(item)
+    if run:
+        packed.append(encoder.encode(run))
+    return StateBlock(source, dest, slots, packed, BlockEncoder().encode(pending))
 
 
-def decode_state(block: StateBlock) -> Tuple[List[StreamTuple], List[StreamTuple]]:
-    """Unpack a columnar :class:`StateBlock` into ``(window, pending)``."""
-    # A decoded StateBlock always carries TupleBlock legs (encode_state
-    # built it); the cast states that one-sided invariant for mypy.
-    return (
-        BlockDecoder().decode(cast(TupleBlock, block.window)),
-        BlockDecoder().decode(cast(TupleBlock, block.pending)),
-    )
+def decode_state(
+    block: StateBlock,
+) -> Tuple[List[WindowStateItem], List[StreamTuple]]:
+    """Unpack a columnar :class:`StateBlock` into ``(window, pending)``.
+
+    Window-leg :class:`TupleBlock` runs decode back into raw tuples
+    (one decoder across the runs, pairing the encoder's schema
+    negotiation); :class:`ColdSegment` items stay frozen — the adopting
+    store installs them without a decode.
+    """
+    decoder = BlockDecoder()
+    window: List[WindowStateItem] = []
+    for item in block.window:
+        if isinstance(item, TupleBlock):
+            window.extend(decoder.decode(item))
+        else:
+            window.append(item)
+    # A decoded StateBlock always carries a TupleBlock pending leg
+    # (encode_state built it); the cast states that invariant for mypy.
+    return window, BlockDecoder().decode(cast(TupleBlock, block.pending))
 
 
 class BlockEncoder:

@@ -30,7 +30,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..join.conditions import JoinCondition
 from ..join.mswj import MSWJOperator
 from ..join.ordering import ProbeOrderPolicy
+from ..join.store import StateItem, StoreMetrics, StoreSpec, ValueClassifier
 from .adaptation import AdaptationContext, BufferSizePolicy, ModelBasedPolicy
+from .blocks import ColdSegment, WindowStateItem
 from .kslack import KSlackBuffer
 from .profiler import TupleProductivityProfiler
 from .result_monitor import ResultSizeMonitor
@@ -82,6 +84,14 @@ class PipelineConfig:
     #: DPcorr-map smoothing across adaptation intervals (0 = paper-exact
     #: last-interval-only; see TupleProductivityProfiler).
     profiler_smoothing: float = 0.5
+    #: Window state representation (see :mod:`repro.join.store`):
+    #: ``None`` / ``"memory"`` keeps every live tuple as an object;
+    #: ``"tiered"`` or a :class:`~repro.join.store.TieredStoreConfig`
+    #: bounds the hot object tier and compacts older tuples into
+    #: columnar cold segments.  Plain data — it crosses process
+    #: boundaries inside the pickled config.  Store choice never
+    #: changes join output, only memory shape.
+    store: StoreSpec = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.gamma <= 1.0:
@@ -114,6 +124,22 @@ class PipelineMetrics:
     #: per-shard K trajectories instead of misreading the interleaved
     #: union as one trajectory.
     shard_k_histories: List[List[Tuple[int, int]]] = field(default_factory=list)
+    #: Per-stream window-state sizes, sampled at every adaptation
+    #: boundary and at flush (so they are *sampled peaks*, not exact
+    #: maxima).  ``stream_resident_objects`` counts tuples held as
+    #: Python objects (hot tier + decode cache), ``stream_hot_objects``
+    #: the hot tier alone, ``stream_encoded_bytes`` the cold tier's
+    #: encoded footprint; ``stream_evicted`` is the cumulative expired
+    #: count.  :meth:`merge` sums them element-wise across shards
+    #: (shards hold disjoint state concurrently).
+    stream_resident_objects: List[int] = field(default_factory=list)
+    stream_hot_objects: List[int] = field(default_factory=list)
+    stream_encoded_bytes: List[int] = field(default_factory=list)
+    stream_evicted: List[int] = field(default_factory=list)
+    #: Cumulative cold-segment decode-cache traffic (tiered stores only;
+    #: zero for in-memory stores), summed across streams and shards.
+    decode_hits: int = 0
+    decode_misses: int = 0
 
     def average_latency_ms(self) -> float:
         return self.latency_sum_ms / self.latency_count if self.latency_count else 0.0
@@ -150,6 +176,20 @@ class PipelineMetrics:
             merged.latency_sum_ms += part.latency_sum_ms
             merged.latency_count += part.latency_count
             merged.latency_max_ms = max(merged.latency_max_ms, part.latency_max_ms)
+            merged.decode_hits += part.decode_hits
+            merged.decode_misses += part.decode_misses
+            for name in (
+                "stream_resident_objects",
+                "stream_hot_objects",
+                "stream_encoded_bytes",
+                "stream_evicted",
+            ):
+                ours: List[int] = getattr(merged, name)
+                theirs: List[int] = getattr(part, name)
+                if len(ours) < len(theirs):
+                    ours.extend([0] * (len(theirs) - len(ours)))
+                for i, value in enumerate(theirs):
+                    ours[i] += value
             # Merging merged metrics flattens to the leaf shard
             # trajectories — a part's interleaved union is not a
             # trajectory any shard actually ran.
@@ -289,6 +329,7 @@ class QualityDrivenPipeline:
             probe_order=config.probe_order,
             productivity_callback=self.profiler.record,
             collect_results=config.collect_results,
+            store=config.store,
         )
         self.metrics = PipelineMetrics()
         self.metrics.k_history.append((0, config.initial_k_ms))
@@ -315,6 +356,40 @@ class QualityDrivenPipeline:
     def app_time_ms(self) -> int:
         """Global application-time progress (max local time across streams)."""
         return self.statistics.app_time()
+
+    def store_metrics(self) -> List[StoreMetrics]:
+        """Live per-stream window-store snapshots (state sizes, codec
+        traffic); see :class:`~repro.join.store.StoreMetrics`."""
+        return [window.store.metrics() for window in self.join.windows]
+
+    def _sample_state_metrics(self) -> None:
+        """Fold the current store snapshots into the run metrics
+        (sampled peaks for sizes, latest values for cumulative counters)."""
+        metrics = self.metrics
+        snapshots = self.store_metrics()
+        for name in (
+            "stream_resident_objects",
+            "stream_hot_objects",
+            "stream_encoded_bytes",
+            "stream_evicted",
+        ):
+            series: List[int] = getattr(metrics, name)
+            if len(series) < len(snapshots):
+                series.extend([0] * (len(snapshots) - len(series)))
+        hits = 0
+        misses = 0
+        for i, snap in enumerate(snapshots):
+            if snap.resident_objects > metrics.stream_resident_objects[i]:
+                metrics.stream_resident_objects[i] = snap.resident_objects
+            if snap.hot_objects > metrics.stream_hot_objects[i]:
+                metrics.stream_hot_objects[i] = snap.hot_objects
+            if snap.encoded_bytes > metrics.stream_encoded_bytes[i]:
+                metrics.stream_encoded_bytes[i] = snap.encoded_bytes
+            metrics.stream_evicted[i] = snap.evicted  # cumulative
+            hits += snap.decode_hits
+            misses += snap.decode_misses
+        metrics.decode_hits = hits
+        metrics.decode_misses = misses
 
     # ------------------------------------------------------------------
     # streaming interface
@@ -404,6 +479,7 @@ class QualityDrivenPipeline:
             emitted = self.synchronizer.close_stream(stream)
             outputs = self._merge(outputs, self._feed_join(emitted))
         outputs = self._merge(outputs, self._feed_join(self.synchronizer.flush()))
+        self._sample_state_metrics()
         return outputs
 
     # ------------------------------------------------------------------
@@ -415,9 +491,11 @@ class QualityDrivenPipeline:
         classify: Callable[[StreamTuple], Optional[object]],
         beacon_ts: int,
         drain_floor_ts: Optional[int] = None,
+        attr_by_stream: Optional[Sequence[Optional[str]]] = None,
+        value_classifier: Optional[ValueClassifier] = None,
     ) -> Tuple[
         Union[List[JoinResult], int],
-        Dict[object, List[StreamTuple]],
+        Dict[object, List[StateItem]],
         Dict[object, List[StreamTuple]],
     ]:
         """Drain to the barrier watermark, then carve out the state of
@@ -425,14 +503,22 @@ class QualityDrivenPipeline:
 
         ``classify`` maps a tuple to its migration group (for the
         partitioned engine: the destination shard) or ``None`` for
-        tuples that stay; it is invoked exactly once per live tuple.
-        Returns ``(outputs, window_groups, pending_groups)``:
+        tuples that stay; it must be pure (stores may evaluate it in
+        tier order and skip it for column-classified cold segments).
+        When ``attr_by_stream`` + ``value_classifier`` are given, a
+        tiered store classifies frozen cold segments by reading the
+        stream's partition-attribute column — a uniformly-classified
+        segment moves *as the already-encoded block* with no
+        decode/re-encode round trip.  Returns ``(outputs,
+        window_groups, pending_groups)``:
 
         * ``outputs`` — join results produced by the barrier drain (the
           caller emits them exactly like :meth:`process` returns);
-        * ``window_groups`` — group → tuples removed from the join
-          windows, in per-window insertion order (re-inserting them in
-          sequence at the peer reproduces the probe candidate order);
+        * ``window_groups`` — group → window state removed from the
+          join windows: raw tuples and/or frozen
+          :class:`~repro.core.blocks.ColdSegment` items, in per-window
+          slot (= insertion) order (re-adopting them in sequence at the
+          peer reproduces the probe candidate order);
         * ``pending_groups`` — group → tuples still in flight in the
           disorder-handling front, for re-buffering at the peer.
 
@@ -471,8 +557,20 @@ class QualityDrivenPipeline:
         if emitted:
             outputs = self._merge(outputs, self._feed_join(emitted))
 
-        window_groups: Dict[object, List[StreamTuple]] = {}
+        window_groups: Dict[object, List[StateItem]] = {}
         pending_groups: Dict[object, List[StreamTuple]] = {}
+
+        for stream, window in enumerate(self.join.windows):
+            attr = (
+                attr_by_stream[stream] if attr_by_stream is not None else None
+            )
+            extracted = window.extract_state(
+                classify,
+                partition_attr=attr,
+                value_classifier=value_classifier if attr is not None else None,
+            )
+            for group, items in extracted.items():
+                window_groups.setdefault(group, []).extend(items)
 
         def collect_into(groups):
             def matches(t: StreamTuple) -> bool:
@@ -484,9 +582,6 @@ class QualityDrivenPipeline:
 
             return matches
 
-        window_predicate = collect_into(window_groups)
-        for window in self.join.windows:
-            window.extract(window_predicate)
         pending_predicate = collect_into(pending_groups)
         for kslack in self.kslacks:
             kslack.extract(pending_predicate)
@@ -500,24 +595,31 @@ class QualityDrivenPipeline:
 
     def adopt_migration(
         self,
-        window_tuples: Sequence[StreamTuple],
+        window_state: Sequence[WindowStateItem],
         pending_tuples: Sequence[StreamTuple],
     ) -> Union[List[JoinResult], int]:
         """Absorb state carved out of a peer by :meth:`prepare_migration`.
 
-        Window tuples are inserted straight into the join windows (they
-        were already disorder-handled and probed at the peer — only
-        their *future* partner role migrates); pending tuples re-enter
-        the K-slack front with their original delay annotations and
-        continue through the normal release path.  Returns any join
-        results the adoption makes available immediately (possible when
-        this pipeline's clocks run ahead of the peer's).
+        Window state arrives as raw tuples and/or frozen
+        :class:`~repro.core.blocks.ColdSegment` items in source slot
+        order: tuples are inserted straight into the join windows,
+        segments are adopted by the window's store — a tiered store
+        installs them still-encoded in its cold tier (they were already
+        disorder-handled and probed at the peer — only their *future*
+        partner role migrates).  Pending tuples re-enter the K-slack
+        front with their original delay annotations and continue through
+        the normal release path.  Returns any join results the adoption
+        makes available immediately (possible when this pipeline's
+        clocks run ahead of the peer's).
         """
         if self._flushed:
             raise RuntimeError("pipeline already flushed; create a new instance")
         windows = self.join.windows
-        for t in window_tuples:
-            windows[t.stream].insert(t)
+        for item in window_state:
+            if isinstance(item, ColdSegment):
+                windows[item.stream()].adopt_frozen(item)
+            else:
+                windows[item.stream].insert(item)
         kslacks = self.kslacks
         # Two-phase: buffer every migrated tuple first, drain after —
         # pending state arrives in no particular order, and releasing
@@ -596,6 +698,7 @@ class QualityDrivenPipeline:
         """One adaptation step at application time ``boundary_ms``."""
         if self._on_adaptation is not None:
             self._on_adaptation(self, boundary_ms)
+        self._sample_state_metrics()
         snapshot = self.profiler.snapshot_and_reset()
         self.monitor.record_true_estimate(snapshot.true_result_estimate())
         context = AdaptationContext(

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from ..core.tuples import JoinResult, StreamTuple
 from .conditions import JoinCondition
 from .ordering import ProbeOrderPolicy, default_policy
+from .store import StoreSpec
 from .window import SlidingWindow
 
 #: ``callback(tuple, n_cross, n_on, in_order)``; counts are None when the
@@ -118,6 +119,12 @@ class MSWJOperator:
         :class:`~repro.core.result_sorter.ResultSorter` to restore an
         ordered output.  Requires ``collect_results=True`` (each result's
         timestamp is individually meaningful).
+    store:
+        A :data:`~repro.join.store.StoreSpec` selecting the window state
+        representation — ``None`` / ``"memory"`` (all tuples as
+        objects), ``"tiered"``, or a
+        :class:`~repro.join.store.TieredStoreConfig` (bounded hot tier +
+        columnar cold tier).  Store choice never changes join output.
     """
 
     def __init__(
@@ -128,6 +135,7 @@ class MSWJOperator:
         productivity_callback: Optional[ProductivityCallback] = None,
         collect_results: bool = True,
         probe_out_of_order: bool = False,
+        store: StoreSpec = None,
     ) -> None:
         if len(window_sizes_ms) < 2:
             raise ValueError("an MSWJ needs at least two input streams")
@@ -137,10 +145,14 @@ class MSWJOperator:
         self.num_streams = len(window_sizes_ms)
         self.window_sizes_ms = [int(w) for w in window_sizes_ms]
         self.condition = condition
+        self.store_spec = store
         self.windows: List[SlidingWindow] = [
-            SlidingWindow(size, condition.indexed_attributes(i))
+            SlidingWindow(size, condition.indexed_attributes(i), store=store)
             for i, size in enumerate(self.window_sizes_ms)
         ]
+        # Hot-path handle: the batched loop talks to stores directly
+        # (needs_expiry / len) instead of peeking window internals.
+        self._stores = [w.store for w in self.windows]
         if probe_out_of_order and not collect_results:
             raise ValueError("probe_out_of_order requires collect_results=True")
         self._policy = probe_order or default_policy(condition)
@@ -193,6 +205,7 @@ class MSWJOperator:
         """
         collect = self._collect_results
         windows = self.windows
+        stores = self._stores
         sizes = self.window_sizes_ms
         num_streams = self.num_streams
         stats = self.stats
@@ -217,11 +230,11 @@ class MSWJOperator:
                 for j in range(num_streams):
                     if j == i:
                         continue
-                    window = windows[j]
-                    heap = window._heap
-                    if heap and heap[0][0] < ts - sizes[j]:
-                        window.expire_before(ts - sizes[j])
-                    n_cross *= len(window._slots)
+                    store = stores[j]
+                    bound = ts - sizes[j]
+                    if store.needs_expiry(bound):
+                        store.expire_before(bound)
+                    n_cross *= len(store)
                 results = self._probe(t)
                 n_on = len(results) if collect else results
                 stats.results_produced += n_on
@@ -257,12 +270,11 @@ class MSWJOperator:
         for j in range(self.num_streams):
             if j == i:
                 continue
-            window = self.windows[j]
+            store = self._stores[j]
             bound = t.ts - self.window_sizes_ms[j]
-            heap = window._heap
-            if heap and heap[0][0] < bound:
-                window.expire_before(bound)
-            n_cross *= len(window._slots)
+            if store.needs_expiry(bound):
+                store.expire_before(bound)
+            n_cross *= len(store)
         results = self._probe(t)
         n_on = len(results) if self._collect_results else results
         self.stats.results_produced += n_on
@@ -384,9 +396,9 @@ class MSWJOperator:
         """Bind the remaining streams depth-first and collect matches."""
         plan = self._plan_for(trigger.stream)
         # Short-circuit: any empty window means no results.
-        windows = self.windows
+        stores = self._stores
         for j in plan.order:
-            if not windows[j]._slots:
+            if not len(stores[j]):
                 return [] if self._collect_results else 0
 
         bound: Dict[int, StreamTuple] = {trigger.stream: trigger}

@@ -10,24 +10,36 @@ operations Alg. 2 needs:
 * probe access — either a full scan (:meth:`tuples`) or, for equality
   predicates, an index lookup (:meth:`lookup`) on a maintained attribute.
 
-Out-of-order inserts mean window content is not timestamp-sorted on
-arrival, so expiration uses a min-heap on ``ts`` with lazy deletion: the
-heap may hold stale entries for already-removed tuples; they are skipped
-when popped.  All live tuples are kept in a dict keyed by an increasing
-slot id to give O(1) removal and stable iteration.
+The window itself is a thin façade: live state lives behind a pluggable
+:class:`~repro.join.store.WindowStore` — :class:`~repro.join.store.InMemoryStore`
+(all tuples as objects; the default) or
+:class:`~repro.join.store.TieredStore` (bounded hot object tier + cold
+``TupleBlock``-encoded segments).  Every store honours the same probe
+contract — candidates in slot (= insertion) order, exact expiry — so
+the choice changes memory shape, never join output (the byte-identity
+differential tests pin this).
 
 Representation contract: the MSWJ operator's hot paths
-(:mod:`repro.join.mswj`) peek at ``_heap[0]`` to skip no-op expiration
-calls and read ``_slots`` for cardinality — changing either field's
-meaning requires updating those call sites.
+(:mod:`repro.join.mswj`) call :meth:`needs_expiry` to skip no-op
+expiration calls and ``len(window.store)`` for cardinality — the store
+interface is the hot-path surface, not private fields.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
+from ..core.blocks import ColdSegment
 from ..core.tuples import StreamTuple
+from .store import (
+    Classifier,
+    StateItem,
+    StoreMetrics,
+    StoreSpec,
+    ValueClassifier,
+    WindowStore,
+    make_store,
+)
 
 
 class SlidingWindow:
@@ -41,53 +53,43 @@ class SlidingWindow:
         Attribute names to maintain equality hash indexes for (derived
         from the join condition via
         :meth:`repro.join.conditions.JoinCondition.indexed_attributes`).
+    store:
+        A :data:`~repro.join.store.StoreSpec` (``None`` / ``"memory"`` /
+        ``"tiered"`` / a :class:`~repro.join.store.TieredStoreConfig`),
+        or an already-constructed empty
+        :class:`~repro.join.store.WindowStore` to adopt as-is.
     """
 
-    def __init__(self, size_ms: int, indexed_attributes: Sequence[str] = ()) -> None:
+    def __init__(
+        self,
+        size_ms: int,
+        indexed_attributes: Sequence[str] = (),
+        store: Union[StoreSpec, WindowStore] = None,
+    ) -> None:
         if size_ms <= 0:
             raise ValueError(f"window size must be positive, got {size_ms}")
         self.size_ms = int(size_ms)
-        self._slots: Dict[int, StreamTuple] = {}
-        self._next_slot = 0
-        self._heap: List = []  # (ts, slot)
-        # Buckets are insertion-ordered Dict[int, None] rather than sets:
-        # slot ids are assigned monotonically and only ever removed, so
-        # dict order == sorted slot order, giving lookup() deterministic
-        # insertion-order candidates with no per-probe sort.
-        self._indexes: Dict[str, Dict[object, Dict[int, None]]] = {
-            attr: {} for attr in indexed_attributes
-        }
+        if isinstance(store, WindowStore):
+            self.store: WindowStore = store
+        else:
+            self.store = make_store(store, indexed_attributes)
 
     # ------------------------------------------------------------------
     # content maintenance
     # ------------------------------------------------------------------
 
     def insert(self, t: StreamTuple) -> None:
-        slot = self._next_slot
-        self._next_slot += 1
-        self._slots[slot] = t
-        heapq.heappush(self._heap, (t.ts, slot))
-        for attr, index in self._indexes.items():
-            value = t.get(attr)
-            index.setdefault(value, {})[slot] = None
+        self.store.insert(t)
+
+    def needs_expiry(self, bound_ts: int) -> bool:
+        """Cheap guard: may any live tuple have ``ts < bound_ts``?
+        (Conservative — a stale heap head can answer True; the
+        subsequent :meth:`expire_before` is exact either way.)"""
+        return self.store.needs_expiry(bound_ts)
 
     def expire_before(self, bound_ts: int) -> int:
         """Remove all tuples with ``ts < bound_ts``; return how many."""
-        removed = 0
-        while self._heap and self._heap[0][0] < bound_ts:
-            ts, slot = heapq.heappop(self._heap)
-            t = self._slots.pop(slot, None)
-            if t is None:
-                continue  # lazily deleted earlier
-            removed += 1
-            for attr, index in self._indexes.items():
-                value = t.get(attr)
-                bucket = index.get(value)
-                if bucket is not None:
-                    bucket.pop(slot, None)
-                    if not bucket:
-                        del index[value]
-        return removed
+        return self.store.expire_before(bound_ts)
 
     def extract(
         self, predicate: Callable[[StreamTuple], bool]
@@ -99,50 +101,50 @@ class SlidingWindow:
         re-inserts the extracted tuples in sequence reproduces the exact
         per-bucket candidate order, which is what keeps result
         *sequences* (not just sets) stable across a shard-state
-        migration.  Heap entries of removed slots go stale and are
-        skipped lazily by :meth:`expire_before` / :meth:`min_ts`, exactly
-        like ordinary removals.
+        migration.  ``predicate`` must be pure: a tiered store evaluates
+        it in tier order, not slot order.
         """
-        removed: List[int] = []
-        extracted: List[StreamTuple] = []
-        for slot, t in self._slots.items():
-            if predicate(t):
-                removed.append(slot)
-                extracted.append(t)
-        for slot in removed:
-            t = self._slots.pop(slot)
-            for attr, index in self._indexes.items():
-                value = t.get(attr)
-                bucket = index.get(value)
-                if bucket is not None:
-                    bucket.pop(slot, None)
-                    if not bucket:
-                        del index[value]
-        return extracted
+        return self.store.extract(predicate)
+
+    def extract_state(
+        self,
+        classify: Classifier,
+        partition_attr: Optional[str] = None,
+        value_classifier: Optional[ValueClassifier] = None,
+    ) -> Dict[object, List[StateItem]]:
+        """Remove migrating state grouped by destination (tier-aware).
+
+        See :meth:`repro.join.store.WindowStore.extract_state`: cold
+        segments whose ``partition_attr`` column maps uniformly to one
+        destination move as already-encoded blocks.
+        """
+        return self.store.extract_state(classify, partition_attr, value_classifier)
+
+    def adopt_frozen(self, segment: ColdSegment) -> None:
+        """Absorb a migrated cold segment (store decides whether it
+        stays frozen or decodes)."""
+        self.store.adopt_frozen(segment)
 
     def clear(self) -> None:
-        self._slots.clear()
-        self._heap.clear()
-        for index in self._indexes.values():
-            index.clear()
+        self.store.clear()
 
     # ------------------------------------------------------------------
     # probe access
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._slots)
+        return len(self.store)
 
     @property
     def cardinality(self) -> int:
-        return len(self._slots)
+        return len(self.store)
 
     def tuples(self) -> Iterator[StreamTuple]:
-        """Iterate over live window content (unspecified order)."""
-        return iter(self._slots.values())
+        """Iterate over live window content (slot order)."""
+        return self.store.tuples()
 
     def has_index(self, attr: str) -> bool:
-        return attr in self._indexes
+        return self.store.has_index(attr)
 
     def lookup(self, attr: str, value: object) -> Iterable[StreamTuple]:
         """Tuples whose ``attr`` equals ``value`` (requires an index on attr).
@@ -150,32 +152,23 @@ class SlidingWindow:
         Candidates come back in slot-id (= insertion) order — probe order
         decides the order of emitted results within one trigger, so this
         is what makes two identical runs produce identical result
-        *sequences* (not just sets).  The order falls out of the
-        insertion-ordered buckets; no per-probe sort.
+        *sequences* (not just sets), whichever store holds the state.
 
-        Returns a lazy single-pass iterable over the bucket (no list
-        materialization on the probe hot path).  The window must not be
+        May return a lazy single-pass iterable; the window must not be
         mutated while it is being consumed — the probe loop guarantees
         that: expiration happens before the probe and the trigger is
         inserted after it.
         """
-        index = self._indexes.get(attr)
-        if index is None:
-            raise KeyError(f"no index maintained on attribute {attr!r}")
-        slots = index.get(value)
-        if not slots:
-            return ()
-        return map(self._slots.__getitem__, slots)
+        return self.store.lookup(attr, value)
 
     def min_ts(self) -> Optional[int]:
-        """Smallest live timestamp (None when empty); compacts stale heap heads."""
-        while self._heap:
-            ts, slot = self._heap[0]
-            if slot in self._slots:
-                return ts
-            heapq.heappop(self._heap)
-        return None
+        """Smallest live timestamp (None when empty)."""
+        return self.store.min_ts()
 
     def timestamps(self) -> List[int]:
         """Sorted list of live timestamps (test/diagnostic helper)."""
-        return sorted(t.ts for t in self._slots.values())
+        return self.store.timestamps()
+
+    def store_metrics(self) -> StoreMetrics:
+        """The backing store's state-size snapshot."""
+        return self.store.metrics()

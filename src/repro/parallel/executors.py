@@ -20,6 +20,16 @@ uniformly: ``submit(shard, tuple)`` / ``submit_batch(shard, batch)`` per
 routed tuple or burst in arrival order, optional ``migrate``/``adopt``
 barrier pairs when the rebalancer moves slot state between shards, then
 ``finish()`` exactly once.
+
+Window-store selection (:attr:`~repro.core.pipeline.PipelineConfig.store`)
+rides inside the config both executors construct shard pipelines from —
+a :class:`~repro.join.store.StoreSpec` is plain picklable data, so the
+same spec reaches fork/spawn workers and in-process shards alike, and the
+per-store state-size peaks each shard samples come back merged through
+:meth:`~repro.core.pipeline.PipelineMetrics.merge` like every other
+metric.  The migration barrier is store-agnostic too: tiered shards hand
+cold segments over as already-encoded blocks inside the same
+:class:`~repro.core.blocks.StateBlock` envelope.
 """
 
 from __future__ import annotations

@@ -54,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.pipeline import PipelineConfig, PipelineMetrics
 from ..core.tuples import JoinResult, StreamTuple
+from ..join.store import StoreMetrics
 from ..streams.source import Dataset
 from .executors import (
     DEFAULT_BATCH_SIZE,
@@ -268,6 +269,22 @@ class PartitionedPipeline:
             for name, value in stats.items():
                 merged[name] = merged.get(name, 0) + value
         return merged
+
+    def store_metrics(self) -> List[List["StoreMetrics"]]:
+        """Per-shard, per-stream window-store snapshots (serial executor only).
+
+        A live view into each shard's :class:`~repro.join.store.WindowStore`
+        state sizes — resident objects, hot-tier objects, encoded cold
+        bytes, decode hits/misses.  Under the process executor the stores
+        live in child processes; use the sampled peaks that ride back in
+        :attr:`metrics` (``stream_resident_objects`` et al.) instead.
+        """
+        if isinstance(self.executor, SerialExecutor):
+            return [p.store_metrics() for p in self.executor.pipelines]
+        raise RuntimeError(
+            "live store metrics unavailable: under the process executor "
+            "use the sampled peaks in .metrics after flush()"
+        )
 
     # ------------------------------------------------------------------
     # streaming interface (mirrors QualityDrivenPipeline)

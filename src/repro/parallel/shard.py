@@ -25,6 +25,7 @@ from ..core.blocks import (
     BlockDecoder,
     BlockEncoder,
     StateBlock,
+    WindowPayload,
     decode_state,
     encode_state,
 )
@@ -103,6 +104,24 @@ def slot_classifier(spec: MigrationSpec) -> Callable[[StreamTuple], Optional[int
     return classify
 
 
+def value_classifier(spec: MigrationSpec) -> Callable[[object], Optional[int]]:
+    """Value-level twin of :func:`slot_classifier`.
+
+    Maps a partition-attribute *value* (not a tuple) to its destination
+    shard, letting a tiered window store classify a cold segment from
+    its attribute column or value summary without decoding the segment —
+    the two classifiers agree by construction because the tuple form
+    only ever hashes ``t.values.get(attr)``.
+    """
+    num_slots = spec.num_slots
+    moves = spec.moves
+
+    def classify_value(value: object) -> Optional[int]:
+        return moves.get(stable_hash(value) % num_slots)
+
+    return classify_value
+
+
 def extract_shard_state(
     pipeline: QualityDrivenPipeline,
     shard: int,
@@ -116,16 +135,29 @@ def extract_shard_state(
     and groups the carved-out state into one :class:`StateBlock` per
     destination shard (columnar-encoded when ``encode``, for the block
     transport's pipe).  Returns ``(drain outputs, state blocks)``.
+
+    The extraction is tier-aware: passing the spec's per-stream key
+    attributes plus :func:`value_classifier` lets a
+    :class:`~repro.join.store.TieredStore` classify cold segments from
+    their attribute columns, so a segment whose keys all move to one
+    destination travels as an already-encoded
+    :class:`~repro.core.blocks.ColdSegment` — no decode/re-encode on
+    the barrier's hot path.
     """
     outputs, per_dest_windows, per_dest_pending = pipeline.prepare_migration(
-        slot_classifier(spec), spec.beacon_ts, spec.drain_floor_ts
+        slot_classifier(spec),
+        spec.beacon_ts,
+        spec.drain_floor_ts,
+        attr_by_stream=spec.attr_by_stream,
+        value_classifier=value_classifier(spec),
     )
     slots_by_dest: Dict[int, List[int]] = {}
     for slot, dest in sorted(spec.moves.items()):
         slots_by_dest.setdefault(dest, []).append(slot)
     states: List[StateBlock] = []
     for dest, slots in sorted(slots_by_dest.items()):
-        window = per_dest_windows.get(dest, [])
+        window: WindowPayload = []
+        window.extend(per_dest_windows.get(dest, []))
         moved = per_dest_pending.get(dest, [])
         if encode:
             states.append(

@@ -3,7 +3,7 @@
 Replays a seeded NEXMark-style workload (:mod:`repro.workloads`) for N
 phases through a *bank* of pipeline variants — the single-shard serial
 reference, partitioned runs at several shard counts, and a rebalanced
-run — while checking four invariants:
+run — while checking five invariants:
 
 1. **subset** — every produced result is a true result
    (produced ⊆ true against
@@ -30,6 +30,16 @@ run — while checking four invariants:
    exact partitioning the union of shard states equals the
    single-pipeline state; process workers are not introspectable
    mid-run, which is why the serial reference always rides along).
+5. **hot-tier** (only when the bank has tiered-store variants) — at
+   every phase boundary, each tiered variant's per-stream hot-tier
+   residency must stay under the configured
+   :attr:`~repro.join.store.TieredStoreConfig.hot_budget` plus the
+   analytic slack the tier legitimately holds as objects: the active
+   bucket (tuples too recent to freeze), one straddler bucket thawed
+   back during expiry, and the compaction back-off hysteresis — all
+   derived from the workload's configured peak rates, like the memory
+   caps.  Together with the identity check this is the tiered-store
+   contract: bounded object residency, byte-identical output.
 
 Determinism: the workload is seeded, the replay is arrival-driven, and
 every check compares exact counts/bytes — a soak run either passes
@@ -43,24 +53,38 @@ checks actually fails (see ``tests/test_soak.py``).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.adaptation import FixedKPolicy
 from ..core.pipeline import PipelineConfig
 from ..core.tuples import JoinResult, StreamTuple
+from ..join.store import StoreSpec, TieredStore, TieredStoreConfig
 from ..parallel.executors import SerialExecutor
 from ..parallel.pipeline import PartitionedPipeline
 from ..parallel.shard import TRANSPORT_BLOCKS
 from ..quality.truth import compute_truth
 from . import Workload, WorkloadCaps, NexmarkConfig, auction_bids_workload
 
-#: The four invariant check identifiers.
+#: The five invariant check identifiers.
 CHECK_SUBSET = "subset"
 CHECK_RECALL = "recall"
 CHECK_IDENTITY = "identity"
 CHECK_MEMORY = "memory"
-ALL_CHECKS = (CHECK_SUBSET, CHECK_RECALL, CHECK_IDENTITY, CHECK_MEMORY)
+CHECK_HOT_TIER = "hot-tier"
+ALL_CHECKS = (
+    CHECK_SUBSET, CHECK_RECALL, CHECK_IDENTITY, CHECK_MEMORY, CHECK_HOT_TIER,
+)
+
+
+def resolve_tiered(store: StoreSpec) -> Optional[TieredStoreConfig]:
+    """The :class:`TieredStoreConfig` a store spec denotes, else ``None``."""
+    if isinstance(store, TieredStoreConfig):
+        return store
+    if store == "tiered":
+        return TieredStoreConfig()
+    return None
 
 
 @dataclass(frozen=True)
@@ -72,6 +96,10 @@ class VariantSpec:
     executor: str = "serial"
     transport: str = TRANSPORT_BLOCKS
     rebalance: bool = False
+    #: Window-store selection for this variant's shard pipelines
+    #: (``None`` = the in-memory default).  Tiered variants ride the
+    #: same bank, so the identity oracle proves store byte-identity.
+    store: StoreSpec = None
 
 
 @dataclass
@@ -96,6 +124,13 @@ class SoakConfig:
     chunk_size: int = 64
     rebalance_interval: int = 512
     rebalance_threshold: float = 1.05
+    #: When set (``"tiered"`` or a :class:`TieredStoreConfig`), the bank
+    #: gains tiered-store twins of the serial reference and the top
+    #: shard-count variant, and the hot-tier residency check arms.
+    store: StoreSpec = None
+
+    def tiered_config(self) -> Optional[TieredStoreConfig]:
+        return resolve_tiered(self.store)
 
     def workload(self) -> Workload:
         return auction_bids_workload(
@@ -132,6 +167,26 @@ class SoakConfig:
                     rebalance=True,
                 )
             )
+        tiered = self.tiered_config()
+        if tiered is not None:
+            # Tiered twins: the serial reference (hot-tier check probes
+            # it) and, when multi-shard variants exist, the top shard
+            # count under rebalancing — the store must survive migration
+            # byte-identically too.
+            specs.append(
+                VariantSpec("serial-1-tiered", 1, "serial", store=tiered)
+            )
+            if multi:
+                specs.append(
+                    VariantSpec(
+                        f"{self.executor}-{multi[-1]}-tiered",
+                        multi[-1],
+                        self.executor,
+                        self.transport,
+                        rebalance=True,
+                        store=tiered,
+                    )
+                )
         return specs
 
 
@@ -145,6 +200,8 @@ class PipelineDriver:
     def __init__(self, spec: VariantSpec, config: PipelineConfig,
                  soak: SoakConfig) -> None:
         self.spec = spec
+        if spec.store is not None:
+            config = replace(config, store=spec.store)
         kwargs = {}
         if spec.rebalance:
             kwargs = dict(
@@ -183,6 +240,26 @@ class PipelineDriver:
             pending += shard.synchronizer.buffered
         return windows, pending
 
+    def hot_sizes(self) -> Optional[List[int]]:
+        """Per-stream hot-tier resident objects, summed over shards.
+
+        ``None`` when the state is not introspectable (process workers)
+        or no shard uses a :class:`~repro.join.store.TieredStore` — the
+        hot-tier check then skips this variant.
+        """
+        executor = self.pipeline.executor
+        if not isinstance(executor, SerialExecutor):
+            return None
+        hot: Optional[List[int]] = None
+        for shard in executor.pipelines:
+            for stream, window in enumerate(shard.join.windows):
+                if not isinstance(window.store, TieredStore):
+                    return None
+                if hot is None:
+                    hot = [0] * len(shard.join.windows)
+                hot[stream] += window.store_metrics().hot_objects
+        return hot
+
     def close(self) -> None:
         self.pipeline.close()
 
@@ -219,6 +296,9 @@ class PhaseReport:
     recall: Dict[str, float] = field(default_factory=dict)
     #: variant name -> (windows, pending) probed at the phase boundary.
     state: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: variant name -> per-stream hot-tier resident objects (tiered
+    #: serial variants only).
+    hot: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
 
 
 @dataclass
@@ -246,11 +326,12 @@ class SoakReport:
         from ..experiments.report import format_table
 
         headers = ["phase", "range (ms)", "true", "variant", "produced",
-                   "recall", "windows", "pending"]
+                   "recall", "windows", "pending", "hot"]
         rows = []
         for phase in self.phases:
             for variant in self.variants:
                 windows, pending = phase.state.get(variant, (None, None))
+                hot = phase.hot.get(variant)
                 rows.append(
                     (
                         phase.index,
@@ -261,6 +342,7 @@ class SoakReport:
                         f"{phase.recall.get(variant, 1.0):.4f}",
                         "-" if windows is None else windows,
                         "-" if pending is None else pending,
+                        "-" if hot is None else sum(hot),
                     )
                 )
         title = (
@@ -356,12 +438,19 @@ class SoakHarness:
             caps=caps,
         )
 
+        skipped = set()
         if len(specs) == 1:
             # A single-variant bank has nothing to differentially
             # compare; be explicit that the identity oracle did not run
             # rather than reporting it vacuously held.
+            skipped.add(CHECK_IDENTITY)
+        if not any(resolve_tiered(spec.store) for spec in specs):
+            # No tiered variant in the bank — the hot-tier residency
+            # check has nothing to probe.
+            skipped.add(CHECK_HOT_TIER)
+        if skipped:
             report.checks_run = tuple(
-                check for check in ALL_CHECKS if check != CHECK_IDENTITY
+                check for check in ALL_CHECKS if check not in skipped
             )
 
         arrivals = list(dataset.arrivals())
@@ -396,6 +485,7 @@ class SoakHarness:
                         seen_keys[spec.name],
                     )
                 self._check_memory(report, specs, drivers, caps, phase_index)
+                self._check_hot_tier(report, specs, drivers, phase_index)
             # Terminal flush: the remaining (buffered) results.
             for spec, driver in zip(specs, drivers):
                 final = driver.flush()
@@ -480,6 +570,52 @@ class SoakHarness:
                         f"{caps.pending_cap}",
                     )
                 )
+
+    def hot_tier_caps(
+        self, tiered: TieredStoreConfig, shards: int
+    ) -> List[int]:
+        """Per-stream hot-tier residency caps, analytically derived.
+
+        Beyond its budget, a shard's hot tier legitimately holds as
+        objects: the active bucket (tuples within ``bucket_span_ms`` of
+        the newest timestamp are never frozen), up to one straddler
+        bucket thawed back during expiry, and the compaction back-off
+        hysteresis (``hot_budget // 8``).  Budgets and hysteresis are
+        per shard (each shard owns a store per stream); the bucket
+        populations are bounded by the stream's configured peak rate
+        regardless of how the key space is sharded.
+        """
+        budget = tiered.hot_budget + max(1, tiered.hot_budget // 8)
+        return [
+            shards * budget
+            + 2 * math.ceil(rate * tiered.bucket_span_ms)
+            + 8
+            for rate in self.workload.peak_rates_per_ms
+        ]
+
+    def _check_hot_tier(self, report, specs, drivers, phase_index):
+        phase = self._phase_slot(report, phase_index)
+        for spec, driver in zip(specs, drivers):
+            tiered = resolve_tiered(spec.store)
+            if tiered is None:
+                continue
+            hot = driver.hot_sizes()
+            if hot is None:
+                continue
+            phase.hot[spec.name] = tuple(hot)
+            caps = self.hot_tier_caps(tiered, spec.shards)
+            for stream, (resident, cap) in enumerate(zip(hot, caps)):
+                if resident > cap:
+                    report.violations.append(
+                        SoakViolation(
+                            CHECK_HOT_TIER,
+                            phase_index,
+                            spec.name,
+                            f"stream {stream} hot-tier residency {resident} "
+                            f"exceeds budget-derived cap {cap} "
+                            f"(hot_budget={tiered.hot_budget})",
+                        )
+                    )
 
     def _phase_slot(self, report: SoakReport, index: int) -> PhaseReport:
         while len(report.phases) <= index:
@@ -578,10 +714,12 @@ def run_soak(
 
 __all__ = [
     "ALL_CHECKS",
+    "CHECK_HOT_TIER",
     "CHECK_IDENTITY",
     "CHECK_MEMORY",
     "CHECK_RECALL",
     "CHECK_SUBSET",
+    "resolve_tiered",
     "PhaseReport",
     "PipelineDriver",
     "SoakConfig",

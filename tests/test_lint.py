@@ -237,6 +237,116 @@ def test_codec_coverage_inert_without_the_named_classes():
 
 
 # ---------------------------------------------------------------------------
+# codec-coverage: cold-segment checks
+# ---------------------------------------------------------------------------
+
+COLD_SEGMENT_CLEAN = '''
+class ColdSegment:
+    __slots__ = ("block", "slots", "min_ts")
+
+    def __getstate__(self):
+        return (self.block, self.slots, self.min_ts)
+
+    def __setstate__(self, state):
+        self.block, self.slots, self.min_ts = state
+
+
+def freeze_segment(batch, slots, encoder):
+    block = encoder.encode(batch)
+    return ColdSegment(block, slots, min(t.ts for t in batch))
+
+
+def thaw_segment(segment, decoder):
+    return decoder.decode(segment.block)
+'''
+
+
+def test_cold_segment_clean_fixture_passes():
+    findings = analyze_sources(
+        {"cold.py": COLD_SEGMENT_CLEAN}, ["codec-coverage"]
+    )
+    assert findings == []
+
+
+def test_cold_segment_flags_missing_pickle_pair():
+    bad = COLD_SEGMENT_CLEAN.replace(
+        "    def __getstate__(self):\n"
+        "        return (self.block, self.slots, self.min_ts)\n\n",
+        "",
+    )
+    findings = analyze_sources({"cold.py": bad}, ["codec-coverage"])
+    assert any(
+        "ColdSegment defines no __getstate__" in f.message for f in findings
+    )
+
+
+def test_cold_segment_flags_freeze_bypassing_the_codec():
+    bad = COLD_SEGMENT_CLEAN.replace(
+        "block = encoder.encode(batch)",
+        "block = [(t.ts, t.values) for t in batch]",
+    )
+    findings = analyze_sources({"cold.py": bad}, ["codec-coverage"])
+    assert any(
+        "freeze_segment never calls .encode(...)" in f.message
+        for f in findings
+    )
+
+
+def test_cold_segment_flags_thaw_bypassing_the_codec():
+    bad = COLD_SEGMENT_CLEAN.replace(
+        "return decoder.decode(segment.block)", "return list(segment.block)"
+    )
+    findings = analyze_sources({"cold.py": bad}, ["codec-coverage"])
+    assert any(
+        "thaw_segment never calls .decode(...)" in f.message for f in findings
+    )
+
+
+def test_cold_segment_flags_construction_missing_a_slot():
+    bad = COLD_SEGMENT_CLEAN.replace(
+        "return ColdSegment(block, slots, min(t.ts for t in batch))",
+        "return ColdSegment(block, slots)",
+    )
+    findings = analyze_sources({"cold.py": bad}, ["codec-coverage"])
+    assert any(
+        "passes 2 argument(s) but ColdSegment has 3 slots" in f.message
+        for f in findings
+    )
+
+
+def test_cold_segment_flags_lost_codec_entry_points():
+    bad = COLD_SEGMENT_CLEAN.replace("def freeze_segment", "def make_segment")
+    findings = analyze_sources({"cold.py": bad}, ["codec-coverage"])
+    assert any(
+        "no freeze_segment() exists" in f.message for f in findings
+    )
+
+
+def test_cold_segment_new_streamtuple_slot_is_caught_via_encoder():
+    """The scenario the check exists for: a slot added to StreamTuple
+    must not silently miss the cold-tier encode path.  Because
+    freeze_segment is pinned to delegate to BlockEncoder.encode, the
+    existing StreamTuple↔codec check fires on the shared encoder —
+    covering frozen segments by construction."""
+    combined = CODEC_CLEAN.replace(
+        '__slots__ = ("ts", "values")',
+        '__slots__ = ("ts", "values", "origin")',
+    ).replace(
+        "return (self.ts, self.values)",
+        "return (self.ts, self.values, self.origin)",
+    ).replace(
+        "self.ts, self.values = state",
+        "self.ts, self.values, self.origin = state",
+    ) + COLD_SEGMENT_CLEAN
+    findings = analyze_sources({"codec.py": combined}, ["codec-coverage"])
+    assert any(
+        "BlockEncoder.encode never reads StreamTuple slot 'origin'"
+        in f.message
+        for f in findings
+    )
+
+
+# ---------------------------------------------------------------------------
 # protocol-exhaustiveness fixtures
 # ---------------------------------------------------------------------------
 

@@ -2,11 +2,11 @@
 
 Two halves:
 
-* the harness *passes* on a healthy engine (all four checks hold, the
+* the harness *passes* on a healthy engine (all five checks hold, the
   per-phase accounting is conserved, fingerprints agree, both executor
   banks work); and
 * **failure injection** — a deliberately broken pipeline stub must trip
-  each of the four checks individually, proving none of them is
+  each of the five checks individually, proving none of them is
   vacuous.  Each stub wraps the real driver and tampers with exactly
   one contract; tampering uniformly across variants isolates the
   targeted check (e.g. dropping the same results everywhere breaks
@@ -14,8 +14,10 @@ Two halves:
 """
 
 from repro import JoinResult, StreamTuple
+from repro import TieredStoreConfig
 from repro.workloads.soak import (
     ALL_CHECKS,
+    CHECK_HOT_TIER,
     CHECK_IDENTITY,
     CHECK_MEMORY,
     CHECK_RECALL,
@@ -50,7 +52,9 @@ class TestHealthySoak:
     def test_serial_bank_passes_all_checks(self):
         report = run_soak(small_soak())
         assert report.passed, [str(v) for v in report.violations]
-        assert tuple(report.checks_run) == ALL_CHECKS
+        # No tiered variant in the default bank, so the hot-tier
+        # residency check has nothing to probe and reports as not run.
+        assert set(report.checks_run) == set(ALL_CHECKS) - {CHECK_HOT_TIER}
         assert report.variants == [
             "serial-1", "serial-2", "serial-4", "serial-4-rebalanced"
         ]
@@ -96,6 +100,25 @@ class TestHealthySoak:
         report = run_soak(small_soak(phases=2))
         text = report.render()
         assert "PASS" in text and "fingerprints" in text
+
+    def test_tiered_bank_passes_all_five_checks(self):
+        report = run_soak(small_soak(
+            phases=2,
+            shard_counts=(1, 2),
+            store=TieredStoreConfig(hot_budget=64, bucket_span_ms=100),
+        ))
+        assert report.passed, [str(v) for v in report.violations]
+        assert set(report.checks_run) == set(ALL_CHECKS)
+        assert "serial-1-tiered" in report.variants
+        # The tiered twins joined the byte-identity oracle: one
+        # fingerprint across memory and tiered variants alike.
+        assert len(set(report.fingerprints.values())) == 1
+        # The hot-tier probe actually sampled the tiered variants.
+        assert any(
+            name.endswith("-tiered") and phase.hot.get(name)
+            for phase in report.phases
+            for name in report.variants
+        )
 
     def test_deterministic_across_runs(self):
         first = run_soak(small_soak())
@@ -231,6 +254,29 @@ class TestFailureInjection:
         assert not report.passed
         assert {v.check for v in report.violations} == {CHECK_MEMORY}
 
+    def test_hot_tier_check_trips_on_bloated_hot_tier(self):
+        class HotBloat(PipelineDriver):
+            """Reports an unbounded hot tier; the join itself is intact,
+            so subset/recall/identity hold and the analytic *memory*
+            caps (total window occupancy) are respected — only the
+            hot-tier residency check can trip."""
+
+            def hot_sizes(self):
+                sizes = super().hot_sizes()
+                if sizes is None:
+                    return None
+                return [10 ** 9 for _ in sizes]
+
+        report, _ = run_with_driver(
+            HotBloat,
+            phases=2,
+            shard_counts=(1, 2),
+            store=TieredStoreConfig(hot_budget=64, bucket_span_ms=100),
+        )
+        assert not report.passed
+        assert {v.check for v in report.violations} == {CHECK_HOT_TIER}
+        assert all(v.variant.endswith("-tiered") for v in report.violations)
+
     def test_failing_report_renders_violations(self):
         class Ballooning(PipelineDriver):
             def state_sizes(self):
@@ -262,7 +308,9 @@ class TestSoakPlumbing:
         assert report.passed
         assert report.variants == ["serial-1"]
         assert CHECK_IDENTITY not in report.checks_run
-        assert set(report.checks_run) == set(ALL_CHECKS) - {CHECK_IDENTITY}
+        assert set(report.checks_run) == (
+            set(ALL_CHECKS) - {CHECK_IDENTITY, CHECK_HOT_TIER}
+        )
         assert "identity" not in report.render().split("all checks held:")[-1]
 
     def test_canonical_bytes_is_order_independent(self):

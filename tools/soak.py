@@ -4,16 +4,24 @@
 Replays a seeded NEXMark-style workload (see :mod:`repro.workloads`)
 for N phases through the differential variant bank — serial single-shard
 reference, partitioned shards 1/2/4, static vs rebalanced routing — and
-checks the four soak invariants (produced ⊆ true, phase recall,
+checks the soak invariants (produced ⊆ true, phase recall,
 byte-identity across variants, analytic memory caps) per phase.  By
 default both executors are soaked: the in-process serial bank and the
 multiprocessing bank on the blocks transport.
+
+``--store tiered`` adds tiered window-store twins to the bank: the join
+state lives in a bounded hot object tier plus columnar cold segments
+(``--hot-budget`` / ``--bucket-span-ms``), the identity oracle proves
+the output stays byte-identical to the in-memory store, and the
+hot-tier check asserts per-stream hot residency under the configured
+budget (plus analytic slack).
 
 Examples::
 
     python tools/soak.py --phases 3 --seed 7
     python tools/soak.py --phases 5 --executor serial --shards 1,2,4,8
     python tools/soak.py --phases 3 --executor process --transport objects
+    python tools/soak.py --phases 3 --window-s 4.0 --store tiered --hot-budget 256
 
 The phase report is printed and written to ``results/soak_report.txt``
 (CI uploads it as an artifact).  Exit status 0 iff every check of every
@@ -36,6 +44,7 @@ if _SRC not in sys.path:
         sys.path.insert(0, _SRC)
 
 from repro.experiments.report import print_and_save  # noqa: E402
+from repro.join.store import TieredStoreConfig  # noqa: E402
 from repro.parallel.shard import TRANSPORT_BLOCKS, TRANSPORT_OBJECTS  # noqa: E402
 from repro.workloads.soak import SoakConfig, run_soak  # noqa: E402
 
@@ -74,9 +83,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="NEXMark bid ingest channels (default: 2)")
     parser.add_argument("--recall", type=float, default=0.95,
                         help="per-phase recall requirement (default: 0.95)")
+    parser.add_argument(
+        "--store",
+        choices=("memory", "tiered"),
+        default="memory",
+        help="window-store bank: 'tiered' adds tiered-store twins and "
+             "arms the hot-tier residency check (default: memory)",
+    )
+    parser.add_argument(
+        "--hot-budget", type=int, default=None, metavar="N",
+        help="tiered store hot-tier budget in tuples (implies --store "
+             "tiered; default: the TieredStoreConfig default)",
+    )
+    parser.add_argument(
+        "--bucket-span-ms", type=int, default=None, metavar="MS",
+        help="tiered store cold-bucket span in ms (implies --store "
+             "tiered; default: the TieredStoreConfig default)",
+    )
     parser.add_argument("--out", default="soak_report",
                         help="report name under results/ (default: soak_report)")
     return parser
+
+
+def store_spec(args) -> "TieredStoreConfig | None":
+    """The tiered-store config the CLI flags denote, or ``None``."""
+    if (
+        args.store != "tiered"
+        and args.hot_budget is None
+        and args.bucket_span_ms is None
+    ):
+        return None
+    overrides = {}
+    if args.hot_budget is not None:
+        overrides["hot_budget"] = args.hot_budget
+    if args.bucket_span_ms is not None:
+        overrides["bucket_span_ms"] = args.bucket_span_ms
+    return TieredStoreConfig(**overrides)
 
 
 def main(argv=None) -> int:
@@ -101,6 +143,7 @@ def main(argv=None) -> int:
     executors = (
         ("serial", "process") if args.executor == "both" else (args.executor,)
     )
+    store = store_spec(args)
     sections = []
     all_passed = True
     for executor in executors:
@@ -114,6 +157,7 @@ def main(argv=None) -> int:
             window_s=args.window_s,
             recall_requirement=args.recall,
             bid_channels=args.bid_channels,
+            store=store,
         )
         started = time.perf_counter()
         report = run_soak(config)
