@@ -53,6 +53,7 @@ from .core.selectivity import EqSel, NonEqSel, SelectivityStrategy
 from .core.statistics import StatisticsManager, StreamStatistics, coarse_delay
 from .core.synchronizer import Synchronizer
 from .core.tuples import JoinResult, StreamTuple, ms, seconds, to_seconds
+from .faults import FaultPlan, FaultSpec, chaos_plan
 from .join.conditions import (
     BandPredicate,
     EquiPredicate,
@@ -83,7 +84,10 @@ from .parallel import (
     Rebalancer,
     SerialExecutor,
     ShardExecutor,
+    ShardFailure,
     ShardOutcome,
+    SupervisedExecutor,
+    SupervisionConfig,
     load_imbalance,
     run_partitioned,
 )
@@ -147,6 +151,9 @@ __all__ = [
     "MultiprocessingExecutor", "ShardOutcome", "run_partitioned",
     "TRANSPORT_BLOCKS", "TRANSPORT_OBJECTS", "Rebalancer", "MigrationSpec",
     "load_imbalance",
+    # fault tolerance
+    "ShardFailure", "SupervisedExecutor", "SupervisionConfig",
+    "FaultPlan", "FaultSpec", "chaos_plan",
     # columnar block transport
     "TupleBlock", "ResultBlock", "StateBlock", "BlockEncoder", "BlockDecoder",
     "MISSING",

@@ -49,6 +49,7 @@ from absent attributes.
 from __future__ import annotations
 
 import pickle
+import zlib
 from typing import (
     Any,
     Dict,
@@ -678,3 +679,79 @@ class BlockDecoder:
             append(JoinResult(ts, tuple(components[i] for i in flat[pos:end])))
             pos = end
         return results
+
+
+_CheckpointFrameState = Tuple[int, int, int, bytes, int]
+
+
+class CheckpointIntegrityError(ValueError):
+    """A checkpoint frame failed its CRC check and must be rejected."""
+
+
+class CheckpointFrame:
+    """One shard checkpoint: a pickled :class:`StateBlock` plus a CRC.
+
+    The supervised executor's recovery unit (see
+    :mod:`repro.parallel.supervision`).  The worker pickles its full
+    shard state — the same :class:`StateBlock` shape the migration
+    barrier ships — *immediately* at capture time, so the frame is a
+    true snapshot: later mutation of the live window store cannot leak
+    into a frame already held by the parent.  ``crc`` (CRC-32 of the
+    payload) lets the parent reject a frame corrupted in flight or by a
+    misbehaving worker before it ever becomes the recovery point;
+    ``epoch`` and ``seq`` identify which worker incarnation produced it
+    and how many batches it covers (batches ``1..seq`` of that shard,
+    by pipe ordering).
+    """
+
+    __slots__ = ("shard", "epoch", "seq", "payload", "crc")
+
+    def __init__(
+        self, shard: int, epoch: int, seq: int, payload: bytes, crc: int
+    ) -> None:
+        self.shard = shard
+        self.epoch = epoch
+        self.seq = seq
+        self.payload = payload
+        self.crc = crc
+
+    def __getstate__(self) -> _CheckpointFrameState:
+        return (self.shard, self.epoch, self.seq, self.payload, self.crc)
+
+    def __setstate__(self, state: _CheckpointFrameState) -> None:
+        self.shard, self.epoch, self.seq, self.payload, self.crc = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CheckpointFrame(shard={self.shard}, epoch={self.epoch}, "
+            f"seq={self.seq}, {len(self.payload)}B)"
+        )
+
+
+def frame_checkpoint(
+    shard: int, epoch: int, seq: int, state: StateBlock
+) -> CheckpointFrame:
+    """Freeze ``state`` into an integrity-checked checkpoint frame."""
+    payload = pickle.dumps(state, protocol=PICKLE_PROTOCOL)
+    return CheckpointFrame(shard, epoch, seq, payload, zlib.crc32(payload))
+
+
+def unframe_checkpoint(frame: CheckpointFrame) -> StateBlock:
+    """Verify and unpickle a checkpoint frame's :class:`StateBlock`.
+
+    Raises :class:`CheckpointIntegrityError` on CRC mismatch — callers
+    must treat the whole checkpoint record as never having existed.
+    """
+    verify_checkpoint(frame)
+    return cast(StateBlock, pickle.loads(frame.payload))
+
+
+def verify_checkpoint(frame: CheckpointFrame) -> None:
+    """CRC-check a frame without paying for the unpickle."""
+    actual = zlib.crc32(frame.payload)
+    if actual != frame.crc:
+        raise CheckpointIntegrityError(
+            f"checkpoint frame for shard {frame.shard} "
+            f"(epoch {frame.epoch}, seq {frame.seq}) fails CRC: "
+            f"stored {frame.crc:#010x}, computed {actual:#010x}"
+        )

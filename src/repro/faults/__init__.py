@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the parallel execution layer.
+
+See :mod:`repro.faults.plan` for the fault model.  The package is
+import-light (stdlib only) because :class:`FaultPlan` instances cross
+the process boundary inside worker ``Process`` args.
+"""
+
+from .plan import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    KIND_CORRUPT_CHECKPOINT,
+    KIND_CRASH_AFTER_BATCH,
+    KIND_CRASH_BEFORE_BATCH,
+    KIND_CRASH_ON_MIGRATE,
+    KIND_HANG_BEFORE_BATCH,
+    KIND_SIGKILL_BEFORE_BATCH,
+    KIND_SLOW_RECV,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    chaos_plan,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_KINDS",
+    "KIND_CORRUPT_CHECKPOINT",
+    "KIND_CRASH_AFTER_BATCH",
+    "KIND_CRASH_BEFORE_BATCH",
+    "KIND_CRASH_ON_MIGRATE",
+    "KIND_HANG_BEFORE_BATCH",
+    "KIND_SIGKILL_BEFORE_BATCH",
+    "KIND_SLOW_RECV",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "chaos_plan",
+]

@@ -1,0 +1,243 @@
+"""Seeded, deterministic fault plans for the supervised shard executor.
+
+Fault tolerance that is only exercised by real outages is untested fault
+tolerance.  This module injects failures *deterministically*: a
+:class:`FaultPlan` is plain picklable data (it crosses the fork/spawn
+boundary inside the worker ``Process`` args), each :class:`FaultSpec`
+names a shard, a fault kind, and the 1-based occurrence count at which
+it fires, and the worker-side :class:`FaultInjector` counts protocol
+events (batches, migrations, checkpoints) and acts at exactly the
+configured points.  Two runs with the same plan fail at the same
+tuple — which is what lets the recovery tests assert *byte-identity*
+between a crashed-and-recovered run and an undisturbed one, and lets
+the chaos soak replay a seeded kill schedule as a sixth invariant.
+
+Fault kinds
+-----------
+* ``crash-before-batch`` / ``crash-after-batch`` — ``os._exit`` around
+  the Nth tuple batch: the abrupt-death path (no error reply, no
+  unwind), before or after the batch's results exist.
+* ``sigkill-before-batch`` — the worker SIGKILLs itself before the Nth
+  batch: indistinguishable from an OOM-killer or operator kill.
+* ``hang-before-batch`` — sleep ``param`` seconds (default 600) before
+  the Nth batch: the liveness failure heartbeats exist for — the
+  process stays alive, so only a ping timeout can surface it.
+* ``slow-recv`` — sleep ``param`` seconds (default 0.05) before *every*
+  batch from the Nth on: degraded-but-alive, must NOT trip supervision.
+* ``crash-on-migrate`` — ``os._exit`` on the Nth ``MSG_MIGRATE_OUT``,
+  after draining/extracting but before the state reply leaves: a crash
+  in the middle of the rebalancing barrier.
+* ``corrupt-checkpoint`` — flip one byte of the Nth checkpoint frame's
+  payload before it ships: the parent's CRC check must reject it and
+  recover from the previous checkpoint.
+
+Occurrence counters live in the worker process and restart from zero in
+every incarnation.  By default a spec is *one-shot across the run*: the
+supervisor strips non-``persistent`` specs from the plan it hands a
+respawned worker, so recovery succeeds.  ``persistent=True`` keeps the
+spec armed across respawns — the way tests exhaust the respawn budget
+and force slot failover.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+KIND_CRASH_BEFORE_BATCH = "crash-before-batch"
+KIND_CRASH_AFTER_BATCH = "crash-after-batch"
+KIND_SIGKILL_BEFORE_BATCH = "sigkill-before-batch"
+KIND_HANG_BEFORE_BATCH = "hang-before-batch"
+KIND_SLOW_RECV = "slow-recv"
+KIND_CRASH_ON_MIGRATE = "crash-on-migrate"
+KIND_CORRUPT_CHECKPOINT = "corrupt-checkpoint"
+
+FAULT_KINDS = (
+    KIND_CRASH_BEFORE_BATCH,
+    KIND_CRASH_AFTER_BATCH,
+    KIND_SIGKILL_BEFORE_BATCH,
+    KIND_HANG_BEFORE_BATCH,
+    KIND_SLOW_RECV,
+    KIND_CRASH_ON_MIGRATE,
+    KIND_CORRUPT_CHECKPOINT,
+)
+
+#: ``os._exit`` status of injected crashes — distinct from Python's
+#: generic 1 so a test watching exit codes can tell an injected crash
+#: from an accidental worker exception.
+CRASH_EXIT_CODE = 70
+
+#: Default sleep of a ``hang-before-batch`` fault.  Long enough that
+#: only the supervisor's heartbeat timeout — never the sleep running
+#: out — ends the hang.
+DEFAULT_HANG_S = 600.0
+
+#: Default per-batch sleep of a ``slow-recv`` fault.
+DEFAULT_SLOW_S = 0.05
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault: ``kind`` fires on ``shard`` at the
+    ``at``-th occurrence of its trigger event (1-based)."""
+
+    shard: int
+    kind: str
+    at: int = 1
+    #: Kind-specific parameter: sleep seconds for ``hang-before-batch``
+    #: and ``slow-recv``; unused elsewhere.
+    param: Optional[float] = None
+    #: Survive respawns.  Default off: the supervisor disarms one-shot
+    #: faults when it respawns the worker, so recovery converges.
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.shard < 0:
+            raise ValueError(f"fault shard must be >= 0, got {self.shard}")
+        if self.at < 1:
+            raise ValueError(f"fault occurrence 'at' must be >= 1, got {self.at}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable bundle of :class:`FaultSpec` entries for one run."""
+
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Tolerate list literals at construction; store a tuple so the
+        # plan stays hashable/frozen.
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def for_shard(self, shard: int) -> Tuple[FaultSpec, ...]:
+        """The specs targeting ``shard`` (what its injector arms)."""
+        return tuple(spec for spec in self.specs if spec.shard == shard)
+
+    def respawn_plan(self, shard: int) -> Optional["FaultPlan"]:
+        """The plan a *respawned* incarnation of ``shard`` receives.
+
+        Non-persistent faults already did their damage; re-arming them
+        would crash every incarnation and make recovery impossible by
+        construction.  Other shards' specs are kept verbatim (the plan
+        is filtered per shard again inside each worker).
+        """
+        kept = tuple(
+            spec
+            for spec in self.specs
+            if spec.shard != shard or spec.persistent
+        )
+        return FaultPlan(kept) if kept else None
+
+
+class FaultInjector:
+    """Worker-side fault arm: counts events, acts at configured points.
+
+    Lives in the worker process (constructed by ``shard_worker`` from
+    the plan in its ``Process`` args); counters restart at zero per
+    incarnation, which keeps the schedule deterministic under replay.
+    """
+
+    def __init__(self, specs: Tuple[FaultSpec, ...]) -> None:
+        self._specs = specs
+        self._batches = 0
+        self._migrates = 0
+        self._checkpoints = 0
+
+    def _fire(self, kind: str, count: int) -> Optional[FaultSpec]:
+        for spec in self._specs:
+            if spec.kind != kind:
+                continue
+            if kind == KIND_SLOW_RECV:
+                if count >= spec.at:
+                    return spec
+            elif count == spec.at:
+                return spec
+        return None
+
+    def before_batch(self) -> None:
+        """Hook before the Nth tuple batch is decoded/processed."""
+        self._batches += 1
+        n = self._batches
+        if self._fire(KIND_SIGKILL_BEFORE_BATCH, n) is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if self._fire(KIND_CRASH_BEFORE_BATCH, n) is not None:
+            os._exit(CRASH_EXIT_CODE)
+        hang = self._fire(KIND_HANG_BEFORE_BATCH, n)
+        if hang is not None:
+            time.sleep(hang.param if hang.param is not None else DEFAULT_HANG_S)
+        slow = self._fire(KIND_SLOW_RECV, n)
+        if slow is not None:
+            time.sleep(slow.param if slow.param is not None else DEFAULT_SLOW_S)
+
+    def after_batch(self) -> None:
+        """Hook after the Nth batch's results joined the accumulator."""
+        if self._fire(KIND_CRASH_AFTER_BATCH, self._batches) is not None:
+            os._exit(CRASH_EXIT_CODE)
+
+    def on_migrate(self) -> None:
+        """Hook between state extraction and the migration state reply."""
+        self._migrates += 1
+        if self._fire(KIND_CRASH_ON_MIGRATE, self._migrates) is not None:
+            os._exit(CRASH_EXIT_CODE)
+
+    def corrupt_payload(self, payload: bytes) -> bytes:
+        """Flip one byte of the Nth checkpoint frame payload (else pass
+        it through untouched)."""
+        self._checkpoints += 1
+        if self._fire(KIND_CORRUPT_CHECKPOINT, self._checkpoints) is None:
+            return payload
+        if not payload:
+            return b"\xff"
+        index = len(payload) // 2
+        flipped = payload[index] ^ 0xFF
+        return payload[:index] + bytes((flipped,)) + payload[index + 1:]
+
+
+def chaos_plan(seed: int, num_shards: int) -> FaultPlan:
+    """The seeded kill schedule of the ``--chaos`` soak.
+
+    Deterministic in ``(seed, num_shards)``: a SIGKILL mid-phase on one
+    shard, a mid-batch hang on another, a crash *after* results existed
+    on a third, a checkpoint corruption, and a crash inside the
+    migration barrier armed on every shard (whichever shard the
+    rebalancer drains first trips it).  Occurrence counts stay small so
+    the schedule fires even at CI smoke scale.
+    """
+    import random
+
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    rng = random.Random(seed * 10_007 + num_shards)
+    specs = [
+        FaultSpec(0, KIND_SIGKILL_BEFORE_BATCH, at=rng.randint(3, 6)),
+        # Early (before the first rebalance check can select this shard
+        # as a migration source and its crash-on-migrate spec preempts
+        # the hang): the parent must prove hang *detection*, not just
+        # crash detection.
+        FaultSpec(
+            1 % num_shards,
+            KIND_HANG_BEFORE_BATCH,
+            at=rng.randint(2, 4),
+            param=30.0,
+        ),
+        FaultSpec(2 % num_shards, KIND_CRASH_AFTER_BATCH, at=rng.randint(14, 18)),
+        # On its own shard (mod the bank size): a shard's first fault
+        # strips its remaining one-shot specs at respawn, so a kind only
+        # reliably fires when no earlier fault shares its shard.
+        FaultSpec(3 % num_shards, KIND_CORRUPT_CHECKPOINT, at=1),
+    ]
+    # Crash inside the rebalancing barrier: armed on every shard because
+    # which shard the planner drains first depends on the realized skew.
+    for shard in range(num_shards):
+        specs.append(FaultSpec(shard, KIND_CRASH_ON_MIGRATE, at=1))
+    return FaultPlan(tuple(specs))

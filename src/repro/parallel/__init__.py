@@ -7,8 +7,13 @@ equi-join key through a virtual-slot table, each shard runs a complete
 executors drive the shards — in-process serial (deterministic) or
 per-shard worker processes with batched IPC — and an optional
 :class:`~repro.parallel.rebalancer.Rebalancer` repairs load skew at
-runtime by migrating slot state between shards.  See
-:mod:`repro.parallel.pipeline` for the exactness semantics.
+runtime by migrating slot state between shards.  A third executor,
+:class:`~repro.parallel.supervision.SupervisedExecutor`, wraps the
+process executor in heartbeat supervision, periodic checkpoints and
+bounded-replay recovery so worker crashes and hangs surface as typed
+:class:`~repro.parallel.shard.ShardFailure` (and, with recovery armed,
+heal byte-identically).  See :mod:`repro.parallel.pipeline` for the
+exactness semantics.
 """
 
 from .executors import (
@@ -24,12 +29,21 @@ from .pipeline import (
 )
 from .rebalancer import MigrationSpec, Rebalancer, load_imbalance
 from .router import DEFAULT_SLOTS_PER_SHARD, KeyRouter, stable_hash
-from .shard import TRANSPORT_BLOCKS, TRANSPORT_OBJECTS, TRANSPORTS, ShardOutcome
+from .shard import (
+    TRANSPORT_BLOCKS,
+    TRANSPORT_OBJECTS,
+    TRANSPORTS,
+    FailoverState,
+    ShardFailure,
+    ShardOutcome,
+)
+from .supervision import SupervisedExecutor, SupervisionConfig
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_REBALANCE_INTERVAL",
     "DEFAULT_SLOTS_PER_SHARD",
+    "FailoverState",
     "KeyRouter",
     "MigrationSpec",
     "MultiprocessingExecutor",
@@ -37,7 +51,10 @@ __all__ = [
     "Rebalancer",
     "SerialExecutor",
     "ShardExecutor",
+    "ShardFailure",
     "ShardOutcome",
+    "SupervisedExecutor",
+    "SupervisionConfig",
     "TRANSPORT_BLOCKS",
     "TRANSPORT_OBJECTS",
     "TRANSPORTS",

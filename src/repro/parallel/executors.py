@@ -52,6 +52,7 @@ from .shard import (
     TRANSPORT_BLOCKS,
     TRANSPORTS,
     Outputs,
+    ShardFailure,
     ShardOutcome,
     adopt_shard_state,
     empty_outputs,
@@ -64,6 +65,11 @@ from .shard import (
 #: per-message pickling/pipe cost; raise it for throughput, lower it for
 #: bounded parent-side buffering.
 DEFAULT_BATCH_SIZE = 256
+
+#: Parent-side poll interval while awaiting a worker reply.  Small
+#: enough that death detection feels immediate; large enough that an
+#: awaited multi-second drain doesn't spin.
+POLL_INTERVAL_S = 0.05
 
 
 class ShardExecutor(ABC):
@@ -200,7 +206,12 @@ class MultiprocessingExecutor(ShardExecutor):
     Prefers the ``fork`` start method so non-picklable join conditions
     (theta lambdas) reach the children by inheritance; under ``spawn``
     the :class:`~repro.core.pipeline.PipelineConfig` must pickle.  Worker
-    failures surface as :class:`RuntimeError` from :meth:`finish`.
+    failures surface as a typed
+    :class:`~repro.parallel.shard.ShardFailure` (a ``RuntimeError``
+    subclass) carrying the shard id: a broken pipe raises from
+    :meth:`_send` at the next dispatch, and the reply paths poll with
+    ``Process.exitcode`` checks instead of blocking in ``recv()``, so a
+    crashed worker can never deadlock the parent.
     """
 
     def __init__(
@@ -223,7 +234,9 @@ class MultiprocessingExecutor(ShardExecutor):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
-        context = multiprocessing.get_context(start_method)
+        # Retained for worker (re)spawns: the supervised subclass starts
+        # replacement workers long after construction.
+        self._context = multiprocessing.get_context(start_method)
         self._batches: List[List[StreamTuple]] = [[] for _ in range(num_shards)]
         self._encoders: Optional[List[BlockEncoder]] = (
             [BlockEncoder() for _ in range(num_shards)]
@@ -240,21 +253,46 @@ class MultiprocessingExecutor(ShardExecutor):
         # created, so whatever exists is released.
         try:
             for shard in range(num_shards):
-                parent_conn, child_conn = context.Pipe(duplex=True)
-                self._connections.append(parent_conn)
-                try:
-                    process = context.Process(
-                        target=shard_worker,
-                        args=(child_conn, shard, config, transport),
-                        daemon=True,
-                    )
-                    process.start()
-                finally:
-                    child_conn.close()
-                self._processes.append(process)
+                self._spawn_worker(shard)
         except BaseException:
             self.close()
             raise
+
+    def _worker_args(self, shard: int) -> tuple:
+        """``shard_worker`` args after the connection (subclass hook)."""
+        return (shard, self.config, self.transport)
+
+    def _spawn_worker(self, shard: int) -> None:
+        """Start ``shard``'s worker on a fresh pipe.
+
+        Appends on first spawn; replaces in place when the supervised
+        subclass respawns a worker (whose caller has already retired the
+        previous incarnation's process and connection).  A fresh pipe
+        per incarnation means no stale message from a dead epoch can
+        ever be read back.
+        """
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        if self._encoders is not None:
+            # The worker's decoder starts empty, so the connection's
+            # schema negotiation must restart from scratch too.
+            self._encoders[shard] = BlockEncoder()
+        if shard < len(self._connections):
+            self._connections[shard] = parent_conn
+        else:
+            self._connections.append(parent_conn)
+        try:
+            process = self._context.Process(
+                target=shard_worker,
+                args=(child_conn,) + self._worker_args(shard),
+                daemon=True,
+            )
+            process.start()
+        finally:
+            child_conn.close()
+        if shard < len(self._processes):
+            self._processes[shard] = process
+        else:
+            self._processes.append(process)
 
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
         if self._finished:
@@ -335,14 +373,11 @@ class MultiprocessingExecutor(ShardExecutor):
             raise RuntimeError("executor already finished")
         self._flush_pending(shard)
         self._send(shard, (MSG_MIGRATE_OUT, spec))
-        try:
-            tag, payload = self._connections[shard].recv()
-        except EOFError:
-            raise RuntimeError(
-                f"shard {shard} worker died during state migration"
-            ) from None
+        tag, payload = self._await_reply(shard)
         if tag != "state":
-            raise RuntimeError(f"shard {shard} state migration failed: {payload}")
+            raise ShardFailure(
+                shard, f"state migration failed: {payload}", recoverable=False
+            )
         return empty_outputs(self.config.collect_results), payload
 
     def adopt(self, shard: int, state: StateBlock) -> Outputs:
@@ -355,15 +390,96 @@ class MultiprocessingExecutor(ShardExecutor):
 
     def _send(self, shard: int, message) -> None:
         # Serialize exactly once (protocol 5) and ship raw bytes.  A
-        # worker that died (e.g. its pipeline raised) closes its end of
-        # the pipe; swallow the broken-pipe here so its error report —
-        # already buffered in the pipe — surfaces at finish().
+        # broken pipe means the worker is gone: surface it as a typed
+        # failure right here — preferring the worker's own buffered
+        # ("error", ...) report when one exists — instead of letting a
+        # later blocking recv() deadlock on a reply that can never come.
         try:
             self._connections[shard].send_bytes(
                 pickle.dumps(message, protocol=PICKLE_PROTOCOL)
             )
-        except OSError:
+        except OSError as exc:
+            raise self._dead_worker(shard, str(exc)) from exc
+
+    def _dead_worker(self, shard: int, cause: str) -> ShardFailure:
+        """Build the typed failure for a pipe that broke under a send.
+
+        A worker whose pipeline raised reports ``("error", text)`` and
+        exits, closing its pipe end; the *next* send then breaks.  Drain
+        whatever the dead worker left buffered so that report — the real
+        diagnosis — wins over the generic broken-pipe symptom.
+        """
+        conn = self._connections[shard]
+        try:
+            while conn.poll(0):
+                tag, payload = conn.recv()
+                if tag == "error":
+                    return ShardFailure(shard, str(payload), recoverable=False)
+        except (EOFError, OSError):
             pass
+        # During constructor unwind the connection may exist without its
+        # process (spawn failed between the two appends).
+        exitcode = (
+            self._processes[shard].exitcode
+            if shard < len(self._processes)
+            else None
+        )
+        return ShardFailure(
+            shard, f"worker pipe closed (exit code {exitcode}): {cause}"
+        )
+
+    def _await_reply(self, shard: int, timeout: Optional[float] = None):
+        """Receive one worker reply with death (and hang) detection.
+
+        Polls instead of blocking in ``recv()``: a dead worker surfaces
+        as a typed :class:`ShardFailure` via pipe EOF or its exitcode,
+        and — when ``timeout`` is given — a worker that is alive but
+        unresponsive surfaces as a failure too, instead of deadlocking
+        the parent forever.  A reply already buffered by a worker that
+        exited afterwards is still delivered (writes complete before
+        exit, so observing a non-``None`` exitcode means everything the
+        worker ever sent is pollable).
+        """
+        conn = self._connections[shard]
+        process = self._processes[shard]
+        waited = 0.0
+        while True:
+            try:
+                ready = conn.poll(POLL_INTERVAL_S)
+            except OSError as exc:
+                # A SIGKILLed peer resets the pipe: poll() itself raises.
+                raise ShardFailure(
+                    shard,
+                    f"worker pipe broken (exit code {process.exitcode}): "
+                    f"{exc}",
+                ) from None
+            if ready:
+                try:
+                    return conn.recv()
+                except (EOFError, OSError):
+                    raise ShardFailure(
+                        shard,
+                        "worker died without reporting "
+                        f"(exit code {process.exitcode})",
+                    ) from None
+            if process.exitcode is not None:
+                try:
+                    buffered = conn.poll(0)
+                except OSError:
+                    buffered = False
+                if not buffered:
+                    raise ShardFailure(
+                        shard,
+                        f"worker exited with code {process.exitcode} "
+                        "before replying",
+                    )
+            waited += POLL_INTERVAL_S
+            if timeout is not None and waited >= timeout:
+                raise ShardFailure(
+                    shard,
+                    f"no reply within {timeout:.1f}s "
+                    "(worker alive but unresponsive)",
+                )
 
     def finish(self) -> List[ShardOutcome]:
         if self._finished:
@@ -380,15 +496,12 @@ class MultiprocessingExecutor(ShardExecutor):
                     self._dispatch(shard, pending, 0, len(pending))
                     self._batches[shard] = []
                 self._send(shard, (MSG_FLUSH, None))
-            for shard, conn in enumerate(self._connections):
-                try:
-                    tag, payload = conn.recv()
-                except EOFError:
-                    raise RuntimeError(
-                        f"shard {shard} worker died without reporting"
-                    ) from None
+            for shard in range(self.num_shards):
+                tag, payload = self._await_reply(shard)
                 if tag != "ok":
-                    raise RuntimeError(f"shard {shard} worker failed: {payload}")
+                    raise ShardFailure(
+                        shard, str(payload), recoverable=False
+                    )
                 if decode_results:
                     # Each worker encoded with its own fresh encoder, so
                     # each outcome block carries its schema inline; a
@@ -416,12 +529,21 @@ class MultiprocessingExecutor(ShardExecutor):
         long-lived hosts need the explicit release.  Also the unwind path
         for a constructor that failed mid-startup, where connections may
         outnumber started processes.
+
+        Per-shard aborts are best-effort: an abort bound for a worker
+        that already died raises the typed dead-worker failure, and
+        propagating it here would skip aborting/joining every *later*
+        worker — exactly the leak this method exists to prevent — so
+        send failures are swallowed and the join sweep always runs.
         """
         already_finished = self._finished
         self._finished = True
         if not already_finished:
             for shard in range(len(self._connections)):
-                self._send(shard, (MSG_ABORT, None))
+                try:
+                    self._send(shard, (MSG_ABORT, None))
+                except ShardFailure:
+                    continue
         for conn in self._connections:
             try:
                 conn.close()

@@ -54,6 +54,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.pipeline import PipelineConfig, PipelineMetrics
 from ..core.tuples import JoinResult, StreamTuple
+from ..faults import FaultPlan
 from ..join.store import StoreMetrics
 from ..streams.source import Dataset
 from .executors import (
@@ -72,9 +73,15 @@ from .router import DEFAULT_SLOTS_PER_SHARD, KeyRouter
 from .shard import (
     TRANSPORT_BLOCKS,
     Outputs,
+    ShardFailure,
     ShardOutcome,
     empty_outputs,
     merge_outputs,
+)
+from .supervision import (
+    SupervisedExecutor,
+    SupervisionConfig,
+    partition_failover_state,
 )
 
 #: Routed tuples between rebalance checks (``rebalance_interval``
@@ -98,8 +105,11 @@ class PartitionedPipeline:
     num_shards:
         Number of shard pipelines.
     executor:
-        ``"serial"`` (default), ``"process"``, or a factory callable
-        ``(config, num_shards) -> ShardExecutor``.
+        ``"serial"`` (default), ``"process"``, ``"supervised"`` (the
+        process executor wrapped in heartbeat supervision and
+        checkpoint/replay recovery —
+        :class:`~repro.parallel.supervision.SupervisedExecutor`), or a
+        factory callable ``(config, num_shards) -> ShardExecutor``.
     batch_size:
         Tuples buffered per shard before one IPC dispatch (``"process"``
         executor only).
@@ -131,6 +141,15 @@ class PartitionedPipeline:
         ``slots_per_shard × num_shards``); migration granularity.
     rebalance_threshold:
         Max/mean shard-load ratio that triggers a plan.
+    supervision:
+        Heartbeat / checkpoint / respawn tuning for the
+        ``"supervised"`` executor
+        (:class:`~repro.parallel.supervision.SupervisionConfig`;
+        defaults apply when ``None``).
+    fault_plan:
+        Deterministic fault-injection schedule
+        (:class:`~repro.faults.FaultPlan`) armed inside the
+        ``"supervised"`` executor's workers — testing/chaos only.
     """
 
     def __init__(
@@ -144,6 +163,8 @@ class PartitionedPipeline:
         rebalance_interval: int = DEFAULT_REBALANCE_INTERVAL,
         slots_per_shard: int = DEFAULT_SLOTS_PER_SHARD,
         rebalance_threshold: float = DEFAULT_THRESHOLD,
+        supervision: Optional[SupervisionConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.config = config
         self.num_shards = num_shards
@@ -180,11 +201,21 @@ class PartitionedPipeline:
             self.executor = MultiprocessingExecutor(
                 config, num_shards, batch_size=batch_size, transport=transport
             )
+        elif executor == "supervised":
+            self.executor = SupervisedExecutor(
+                config,
+                num_shards,
+                batch_size=batch_size,
+                transport=transport,
+                supervision=supervision,
+                fault_plan=fault_plan,
+            )
         elif callable(executor):
             self.executor = executor(config, num_shards)
         else:
             raise ValueError(
-                f"executor must be 'serial', 'process' or a factory, got {executor!r}"
+                f"executor must be 'serial', 'process', 'supervised' or a "
+                f"factory, got {executor!r}"
             )
         if self._rebalancer is not None and (
             type(self.executor).migrate is ShardExecutor.migrate
@@ -211,6 +242,11 @@ class PartitionedPipeline:
         self.rebalances = 0
         #: Total slots whose shard changed across all rebalances.
         self.slots_moved = 0
+        #: Shards permanently failed over to survivors (supervised
+        #: executor only: respawn-budget exhaustion demotes the shard and
+        #: its slots migrate to the survivors).
+        self.failovers = 0
+        self._dead_shards: set = set()
         self._flushed = False
         self._outcomes: Optional[List[ShardOutcome]] = None
 
@@ -297,7 +333,10 @@ class PartitionedPipeline:
         collect = self.config.collect_results
         outputs = empty_outputs(collect)
         for shard in self.router.route(t):
-            produced = self.executor.submit(shard, t)
+            try:
+                produced = self.executor.submit(shard, t)
+            except ShardFailure as failure:
+                produced = self._fail_over(failure)
             if shard in self._emit_shards:
                 outputs = merge_outputs(collect, outputs, produced)
         if self._rebalancer is not None:
@@ -338,7 +377,10 @@ class PartitionedPipeline:
         for shard, shard_batch in enumerate(per_shard):
             if not shard_batch:
                 continue
-            produced = submit_batch(shard, shard_batch)
+            try:
+                produced = submit_batch(shard, shard_batch)
+            except ShardFailure as failure:
+                produced = self._fail_over(failure)
             if shard in emit_shards:
                 outputs = merge_outputs(collect, outputs, produced)
         if self._rebalancer is not None:
@@ -386,6 +428,101 @@ class PartitionedPipeline:
         router.reassign(moves)
         self.rebalances += 1
         self.slots_moved += len(moves)
+        return outputs
+
+    def _fail_over(self, failure: ShardFailure) -> Outputs:
+        """Migrate a permanently dead shard's slots and state to survivors.
+
+        Entered when the supervised executor exhausts a shard's respawn
+        budget and hands back a :class:`~repro.parallel.shard.ShardFailure`
+        carrying :class:`~repro.parallel.shard.FailoverState` — the dead
+        shard's last-checkpoint window/pending state plus the replay-log
+        batches accepted after it.  Degraded-mode recovery reuses the
+        rebalance machinery: the dead shard's virtual slots are dealt
+        round-robin to the surviving shards, its state is re-partitioned
+        per destination (:func:`partition_failover_state` — the same
+        slot/value classifiers as a live migration), adopted through the
+        executor's migration protocol, and the replay-log batches are
+        re-routed through the rewritten slot table.  Determinism carries
+        over: adoption inserts by canonical timestamp order and the
+        replayed sub-streams preserve arrival order, so the merged flush
+        sequence and summed join statistics match an undisturbed run.
+
+        Failures that carry no failover state (recovery disabled,
+        non-recoverable pipeline errors), broadcast routing (every shard
+        holds the full state — survivors cannot absorb an emitter), and
+        runs without a survivor re-raise the failure unchanged.  After a
+        failover the rebalancer is disarmed: its load counters and plan
+        geometry assume all shards are live.
+        """
+        payload = failure.failover
+        if payload is None or not self.router.exact or self.num_shards < 2:
+            raise failure
+        survivors = [
+            s
+            for s in range(self.num_shards)
+            if s != failure.shard and s not in self._dead_shards
+        ]
+        if not survivors:
+            raise failure
+        self._dead_shards.add(failure.shard)
+        router = self.router
+        moves: Dict[int, int] = {}
+        owned = [
+            slot
+            for slot, shard in enumerate(router.slot_table)
+            if shard == failure.shard
+        ]
+        for i, slot in enumerate(owned):
+            moves[slot] = survivors[i % len(survivors)]
+        collect = self.config.collect_results
+        outputs = empty_outputs(collect)
+        if moves:
+            # Beacon/floor 0: checkpoint state was extracted without a
+            # drain barrier, so adoption must not advance any monotone
+            # clock either (same invariant as checkpoint extraction).
+            spec = MigrationSpec(
+                moves=moves,
+                attr_by_stream=router._attr_by_stream,
+                num_slots=router.num_slots,
+                beacon_ts=0,
+                drain_floor_ts=0,
+            )
+            encode = (
+                getattr(self.executor, "transport", None) == TRANSPORT_BLOCKS
+            )
+            states = partition_failover_state(
+                payload.window, payload.pending, spec, encode=encode
+            )
+            for state in states:
+                adopted = self.executor.adopt(state.dest, state)
+                outputs = merge_outputs(collect, outputs, adopted)
+            router.reassign(moves)
+        self._rebalancer = None
+        self.failovers += 1
+        for batch in payload.replay:
+            outputs = merge_outputs(collect, outputs, self._refeed(batch))
+        return outputs
+
+    def _refeed(self, batch: Sequence[StreamTuple]) -> Outputs:
+        """Re-route one replay-log batch through the rewritten slot table.
+
+        The batch preserves its original arrival order, and every tuple
+        now lands on a survivor, so each destination sees a correctly
+        ordered sub-stream.  A survivor failing *during* refeed is
+        terminal (cascading failover is out of scope) and propagates.
+        """
+        collect = self.config.collect_results
+        outputs = empty_outputs(collect)
+        routed = self.router.route_batch(batch)
+        if routed is None:  # pragma: no cover - broadcast re-raises earlier
+            raise RuntimeError("failover refeed requires exact routing")
+        for shard, shard_batch in enumerate(routed):
+            if not shard_batch:
+                continue
+            produced = self.executor.submit_batch(shard, shard_batch)
+            if shard in self._emit_shards:
+                outputs = merge_outputs(collect, outputs, produced)
         return outputs
 
     def flush(self) -> Outputs:
@@ -456,6 +593,8 @@ def run_partitioned(
     rebalance_interval: int = DEFAULT_REBALANCE_INTERVAL,
     slots_per_shard: int = DEFAULT_SLOTS_PER_SHARD,
     rebalance_threshold: float = DEFAULT_THRESHOLD,
+    supervision: Optional[SupervisionConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> tuple:
     """Replay a finite dataset through a :class:`PartitionedPipeline`.
 
@@ -470,8 +609,10 @@ def run_partitioned(
     the batched engine (:meth:`~PartitionedPipeline.process_batch`).
     ``transport`` picks the ``"process"`` executor's wire format and
     ``rebalance`` / ``rebalance_interval`` / ``slots_per_shard`` /
-    ``rebalance_threshold`` enable and tune skew-aware slot rebalancing
-    (see :class:`PartitionedPipeline` for both).
+    ``rebalance_threshold`` enable and tune skew-aware slot rebalancing;
+    ``supervision`` / ``fault_plan`` configure the ``"supervised"``
+    executor's fault tolerance (see :class:`PartitionedPipeline` for
+    all of them).
     """
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -485,6 +626,8 @@ def run_partitioned(
         rebalance_interval=rebalance_interval,
         slots_per_shard=slots_per_shard,
         rebalance_threshold=rebalance_threshold,
+        supervision=supervision,
+        fault_plan=fault_plan,
     ) as pipeline:
         collect = config.collect_results
         outputs = empty_outputs(collect)

@@ -17,17 +17,22 @@ and are re-exported here for the rest of the parallel layer.
 
 from __future__ import annotations
 
+from copy import deepcopy
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.blocks import (
     BlockDecoder,
     BlockEncoder,
+    CheckpointFrame,
+    ResultBlock,
     StateBlock,
     WindowPayload,
+    WindowStateItem,
     decode_state,
     encode_state,
+    frame_checkpoint,
 )
 from ..core.pipeline import (
     Outputs,
@@ -38,6 +43,7 @@ from ..core.pipeline import (
     merge_outputs,
 )
 from ..core.tuples import StreamTuple
+from ..faults import FaultInjector, FaultPlan
 from .rebalancer import MigrationSpec
 from .router import stable_hash
 
@@ -54,6 +60,95 @@ class ShardOutcome:
     join_stats: Dict[str, int] = field(default_factory=dict)
 
 
+@dataclass
+class FailoverState:
+    """A dead shard's recoverable state, handed to the pipeline layer.
+
+    Built by the supervised executor when a shard's respawn budget is
+    exhausted: the last good checkpoint's window/pending state in
+    decoded (adoptable) form plus the raw post-checkpoint tuple batches
+    from the replay log.  The pipeline repartitions the state across the
+    surviving shards through the ordinary migration machinery and
+    re-routes the replay batches — graceful degradation instead of an
+    aborted run.
+    """
+
+    window: List[WindowStateItem]
+    pending: List[StreamTuple]
+    replay: List[List[StreamTuple]]
+
+
+class ShardFailure(RuntimeError):
+    """A shard worker crashed, hung, or misbehaved — with a shard id.
+
+    Subclasses :class:`RuntimeError` so callers of the pre-supervision
+    executor API keep working; carries structure so the supervisor can
+    react: ``recoverable`` distinguishes infrastructure failures (death,
+    hang, integrity) from deterministic pipeline errors that replay
+    would simply reproduce, and ``failover`` carries a dead shard's
+    :class:`FailoverState` once its respawn budget is spent.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        reason: str,
+        *,
+        recoverable: bool = True,
+        failover: Optional[FailoverState] = None,
+    ) -> None:
+        super().__init__(f"shard {shard} worker failed: {reason}")
+        self.shard = shard
+        self.reason = reason
+        self.recoverable = recoverable
+        self.failover = failover
+
+
+@dataclass
+class CheckpointRequest:
+    """Parent → worker: capture a checkpoint for ``(epoch, seq)``.
+
+    ``epoch`` is the worker incarnation the parent believes it is
+    talking to; ``seq`` the number of batches dispatched to the shard so
+    far.  The worker echoes both in its :class:`CheckpointRecord`, and
+    the parent rejects any record whose identity does not match —
+    epoch/seq dedup is what keeps a recovered run's outputs
+    exactly-once.
+    """
+
+    epoch: int
+    seq: int
+
+
+#: A checkpoint record's shipped-output leg: the worker's result delta
+#: since its previous checkpoint, as a plain :data:`Outputs` or packed
+#: into a :class:`~repro.core.blocks.ResultBlock` (block transport with
+#: collected results — mirroring the outcome path).
+CheckpointOutputs = Union[Outputs, ResultBlock]
+
+
+@dataclass
+class CheckpointRecord:
+    """Worker → parent reply to a :class:`CheckpointRequest`.
+
+    ``frame`` snapshots the full shard state (integrity-checked;
+    see :class:`~repro.core.blocks.CheckpointFrame`); ``outputs`` is the
+    **delta** of results produced since the previous checkpoint (the
+    worker resets its accumulator after replying, so each result
+    travels to the parent exactly once); ``join_stats`` and ``metrics``
+    are **cumulative** snapshots for this incarnation — the parent adds
+    them onto the base it recorded at the incarnation's spawn.
+    """
+
+    shard: int
+    epoch: int
+    seq: int
+    frame: CheckpointFrame
+    outputs: CheckpointOutputs
+    join_stats: Dict[str, int]
+    metrics: PipelineMetrics
+
+
 # Message tags of the executor ↔ worker protocol.
 MSG_BATCH = "batch"
 MSG_FLUSH = "flush"
@@ -68,6 +163,19 @@ MSG_MIGRATE_OUT = "migrate_out"
 #: :class:`~repro.core.blocks.StateBlock`; no reply (pipe ordering
 #: guarantees the adoption lands after every batch routed before it).
 MSG_MIGRATE_IN = "migrate_in"
+#: Liveness probe: payload is an opaque nonce, the worker echoes it back
+#: as ``(MSG_PONG, nonce)``.  Because the pipe is ordered, a pong also
+#: acknowledges every batch dispatched before the ping — the supervised
+#: executor's heartbeat rides on this pair instead of trusting a
+#: blocking ``recv()``.
+MSG_PING = "ping"
+#: Worker → parent heartbeat reply (echoed :data:`MSG_PING` nonce).
+MSG_PONG = "pong"
+#: Checkpoint barrier: payload is a :class:`CheckpointRequest`; the
+#: worker snapshots its full state via the migration extraction path
+#: (re-adopting it locally, so the capture is observationally a no-op)
+#: and replies ``(MSG_CHECKPOINT, CheckpointRecord)``.
+MSG_CHECKPOINT = "checkpoint"
 
 # Wire formats of the multiprocessing executor's tuple transfer.
 #: Columnar :class:`~repro.core.blocks.TupleBlock` messages with a
@@ -181,11 +289,72 @@ def adopt_shard_state(
     return pipeline.adopt_migration(window_tuples, pending)
 
 
+#: Dummy partition attribute of the checkpoint extraction.  No tuple
+#: carries it, so a tiered store's cold segments classify from an
+#: all-``None`` column — uniformly group 0 — and travel as
+#: already-frozen blocks without a decode.
+_CHECKPOINT_ATTR = "__checkpoint__"
+
+
+def _checkpoint_group(t: StreamTuple) -> Optional[int]:
+    """Classify-all: every tuple belongs to checkpoint group 0."""
+    return 0
+
+
+def _checkpoint_value_group(value: object) -> Optional[int]:
+    """Value-level twin of :func:`_checkpoint_group` (segments)."""
+    return 0
+
+
+def checkpoint_shard_state(
+    pipeline: QualityDrivenPipeline,
+    shard: int,
+    request: CheckpointRequest,
+    encode: bool,
+) -> Tuple[CheckpointFrame, Outputs]:
+    """Capture a shard's full state as a checkpoint frame, losslessly.
+
+    Reuses the migration extraction with a classify-*everything*
+    predicate and a zero barrier: ``beacon_ts=0`` / ``drain_floor_ts=0``
+    never advances the disorder clocks (they are monotone), so the drain
+    emits nothing, and ``advance + drain_below`` over a negative
+    watermark releases nothing — the extraction is the shard's complete
+    window + in-flight state with **no observable side effect**.  The
+    state is framed (pickled + CRC) *before* the local re-adoption, so
+    the frame is a true snapshot; re-adopting the extracted items
+    restores the pipeline exactly (pending tuples re-enter the K-slack
+    front below the clock they left at, so the two-phase adopt releases
+    nothing either).  Returns ``(frame, outputs)`` where ``outputs`` is
+    whatever the barrier produced — empty by the argument above, but
+    merged by the caller anyway so the accounting stays airtight.
+    """
+    outputs, window_groups, pending_groups = pipeline.prepare_migration(
+        _checkpoint_group,
+        0,
+        0,
+        attr_by_stream=[_CHECKPOINT_ATTR] * pipeline.num_streams,
+        value_classifier=_checkpoint_value_group,
+    )
+    window: WindowPayload = []
+    window.extend(window_groups.get(0, []))
+    pending = pending_groups.get(0, [])
+    if encode:
+        state = encode_state(shard, shard, (), window, pending)
+    else:
+        state = StateBlock(shard, shard, (), list(window), list(pending))
+    frame = frame_checkpoint(shard, request.epoch, request.seq, state)
+    readopted = pipeline.adopt_migration(window_groups.get(0, []), pending)
+    collect = pipeline.config.collect_results
+    outputs = merge_outputs(collect, outputs, readopted)
+    return frame, outputs
+
+
 def shard_worker(
     conn: Connection,
     shard: int,
     config: PipelineConfig,
     transport: str = TRANSPORT_OBJECTS,
+    faults: Optional[FaultPlan] = None,
 ) -> None:
     """Child-process loop: drain tuple batches, flush, send the outcome back.
 
@@ -213,6 +382,19 @@ def shard_worker(
     reply.  Results produced by either leg join the worker's output
     accumulator like any batch results.
 
+    Supervision extends the protocol with three tags: ``(MSG_PING,
+    nonce)`` echoes back ``(MSG_PONG, nonce)`` (a liveness probe that,
+    by pipe ordering, also acknowledges every earlier batch);
+    ``(MSG_CHECKPOINT, CheckpointRequest)`` snapshots the full shard
+    state via :func:`checkpoint_shard_state` and replies
+    ``(MSG_CHECKPOINT, CheckpointRecord)`` carrying the frame, the
+    *delta* of outputs since the previous checkpoint (the accumulator
+    resets after the reply ships), and cumulative stats/metrics
+    snapshots.  A :class:`~repro.faults.FaultPlan` in ``faults`` arms a
+    deterministic :class:`~repro.faults.FaultInjector` around the batch,
+    migration, and checkpoint paths — the supervised executor's chaos
+    harness.
+
     Dispatch is exhaustive over the ``MSG_*`` tags (the
     ``protocol-exhaustiveness`` lint rule pins this): any other tag
     raises, surfacing as an ``("error", ...)`` reply, instead of being
@@ -224,6 +406,8 @@ def shard_worker(
         decoder: Optional[BlockDecoder] = (
             BlockDecoder() if transport == TRANSPORT_BLOCKS else None
         )
+        armed = faults.for_shard(shard) if faults is not None else ()
+        injector: Optional[FaultInjector] = FaultInjector(armed) if armed else None
         outputs: Outputs = empty_outputs(collect)
         while True:
             tag, payload = conn.recv()
@@ -236,6 +420,8 @@ def shard_worker(
                     pipeline, shard, payload, encode=decoder is not None
                 )
                 outputs = merge_outputs(collect, outputs, drained)
+                if injector is not None:
+                    injector.on_migrate()
                 conn.send(("state", states))
                 continue
             if tag == MSG_MIGRATE_IN:
@@ -244,11 +430,41 @@ def shard_worker(
                 )
                 outputs = merge_outputs(collect, outputs, adopted)
                 continue
+            if tag == MSG_PING:
+                conn.send((MSG_PONG, payload))
+                continue
+            if tag == MSG_CHECKPOINT:
+                frame, barrier = checkpoint_shard_state(
+                    pipeline, shard, payload, encode=decoder is not None
+                )
+                outputs = merge_outputs(collect, outputs, barrier)
+                if injector is not None:
+                    frame.payload = injector.corrupt_payload(frame.payload)
+                delta: CheckpointOutputs = outputs
+                if decoder is not None and collect:
+                    delta = BlockEncoder().encode_results(outputs)
+                record = CheckpointRecord(
+                    shard,
+                    payload.epoch,
+                    payload.seq,
+                    frame,
+                    delta,
+                    pipeline.join.stats.as_dict(),
+                    deepcopy(pipeline.metrics),
+                )
+                conn.send((MSG_CHECKPOINT, record))
+                # The delta shipped exactly once; restart the
+                # accumulator so the next checkpoint (or the outcome)
+                # carries only newer results.
+                outputs = empty_outputs(collect)
+                continue
             if tag != MSG_BATCH:
                 # Exhaustive dispatch: an unknown tag is a protocol bug
                 # (or version skew) — refusing it here beats silently
                 # feeding its payload to the join as a tuple batch.
                 raise ValueError(f"unknown protocol message tag {tag!r}")
+            if injector is not None:
+                injector.before_batch()
             if decoder is not None:
                 # Lazy decode: blocks materialize tuples here, right at
                 # the point of consumption — the pipe and the parent
@@ -257,6 +473,8 @@ def shard_worker(
             # Each IPC batch drains through the batched engine; identical
             # to a per-tuple loop, minus the per-tuple driver overhead.
             outputs = merge_outputs(collect, outputs, pipeline.process_batch(payload))
+            if injector is not None:
+                injector.after_batch()
         outputs = merge_outputs(collect, outputs, pipeline.flush())
         if decoder is not None and collect:
             outputs = BlockEncoder().encode_results(outputs)

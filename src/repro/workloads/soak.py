@@ -3,7 +3,7 @@
 Replays a seeded NEXMark-style workload (:mod:`repro.workloads`) for N
 phases through a *bank* of pipeline variants — the single-shard serial
 reference, partitioned runs at several shard counts, and a rebalanced
-run — while checking five invariants:
+run — while checking six invariants:
 
 1. **subset** — every produced result is a true result
    (produced ⊆ true against
@@ -40,6 +40,13 @@ run — while checking five invariants:
    derived from the workload's configured peak rates, like the memory
    caps.  Together with the identity check this is the tiered-store
    contract: bounded object residency, byte-identical output.
+6. **recovery** (only in ``chaos`` mode) — the bank gains a supervised
+   variant running under the seeded fault plan
+   (:func:`~repro.faults.chaos_plan`: crashes, SIGKILLs, hangs,
+   checkpoint corruption).  The identity oracle must not be able to
+   tell its output from a clean run, and the supervision counters must
+   show the faults actually fired (>= 1 respawn, >= 1 admitted
+   checkpoint) so the chaos run cannot pass vacuously.
 
 Determinism: the workload is seeded, the replay is arrival-driven, and
 every check compares exact counts/bytes — a soak run either passes
@@ -60,21 +67,30 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.adaptation import FixedKPolicy
 from ..core.pipeline import PipelineConfig
 from ..core.tuples import JoinResult, StreamTuple
+from ..faults import chaos_plan
 from ..join.store import StoreSpec, TieredStore, TieredStoreConfig
 from ..parallel.executors import SerialExecutor
 from ..parallel.pipeline import PartitionedPipeline
 from ..parallel.shard import TRANSPORT_BLOCKS
+from ..parallel.supervision import SupervisedExecutor, SupervisionConfig
 from ..quality.truth import compute_truth
 from . import Workload, WorkloadCaps, NexmarkConfig, auction_bids_workload
 
-#: The five invariant check identifiers.
+#: The six invariant check identifiers.
 CHECK_SUBSET = "subset"
 CHECK_RECALL = "recall"
 CHECK_IDENTITY = "identity"
 CHECK_MEMORY = "memory"
 CHECK_HOT_TIER = "hot-tier"
+#: Chaos mode only: the supervised chaos variant must both survive its
+#: seeded fault plan byte-identically (the identity oracle covers the
+#: output) *and* actually exercise recovery — at least one respawn and
+#: one admitted checkpoint, so a plan whose faults never fire cannot
+#: pass vacuously.
+CHECK_RECOVERY = "recovery"
 ALL_CHECKS = (
     CHECK_SUBSET, CHECK_RECALL, CHECK_IDENTITY, CHECK_MEMORY, CHECK_HOT_TIER,
+    CHECK_RECOVERY,
 )
 
 
@@ -100,6 +116,11 @@ class VariantSpec:
     #: (``None`` = the in-memory default).  Tiered variants ride the
     #: same bank, so the identity oracle proves store byte-identity.
     store: StoreSpec = None
+    #: Chaos twin: run under the ``"supervised"`` executor with the
+    #: seeded :func:`~repro.faults.chaos_plan` armed — crashes, SIGKILLs,
+    #: hangs and checkpoint corruption injected mid-run, which the
+    #: identity oracle must not be able to tell apart from a clean run.
+    chaos: bool = False
 
 
 @dataclass
@@ -128,6 +149,13 @@ class SoakConfig:
     #: gains tiered-store twins of the serial reference and the top
     #: shard-count variant, and the hot-tier residency check arms.
     store: StoreSpec = None
+    #: Chaos mode: the bank gains a supervised twin of the top shard
+    #: count running under the seeded fault plan
+    #: (:func:`~repro.faults.chaos_plan`), and the recovery check arms.
+    chaos: bool = False
+    #: IPC dispatch window of the chaos variant — deliberately small so
+    #: the plan's batch-indexed faults fire within smoke-scale runs.
+    chaos_batch_size: int = 32
 
     def tiered_config(self) -> Optional[TieredStoreConfig]:
         return resolve_tiered(self.store)
@@ -187,6 +215,22 @@ class SoakConfig:
                         store=tiered,
                     )
                 )
+        if self.chaos:
+            # The chaos twin needs >= 2 shards: the plan injects
+            # respawn-budget pressure and the identity oracle must keep
+            # holding across recoveries, which is only interesting with
+            # partitioned state to restore.
+            top = multi[-1] if multi else 2
+            specs.append(
+                VariantSpec(
+                    f"supervised-{top}-chaos",
+                    top,
+                    "supervised",
+                    self.transport,
+                    rebalance=True,
+                    chaos=True,
+                )
+            )
         return specs
 
 
@@ -208,6 +252,22 @@ class PipelineDriver:
                 rebalance=True,
                 rebalance_interval=soak.rebalance_interval,
                 rebalance_threshold=soak.rebalance_threshold,
+            )
+        if spec.chaos:
+            # Tight cadences so heartbeats, checkpoints and the seeded
+            # faults all fire within a smoke-scale run; a generous
+            # respawn budget because the plan injects several distinct
+            # faults per shard.
+            kwargs.update(
+                batch_size=soak.chaos_batch_size,
+                supervision=SupervisionConfig(
+                    heartbeat_interval=4,
+                    heartbeat_timeout_s=2.0,
+                    checkpoint_interval=8,
+                    max_respawns=6,
+                    backoff_base_s=0.01,
+                ),
+                fault_plan=chaos_plan(soak.seed, spec.shards),
             )
         self.pipeline = PartitionedPipeline(
             config,
@@ -259,6 +319,23 @@ class PipelineDriver:
                     hot = [0] * len(shard.join.windows)
                 hot[stream] += window.store_metrics().hot_objects
         return hot
+
+    def recovery_stats(self) -> Optional[Dict[str, int]]:
+        """Supervision counters of a chaos variant, else ``None``.
+
+        Safe to read after :meth:`close` — the counters are plain
+        executor attributes that outlive the worker processes.
+        """
+        executor = self.pipeline.executor
+        if not isinstance(executor, SupervisedExecutor):
+            return None
+        return {
+            "respawns": executor.respawns,
+            "checkpoints_taken": executor.checkpoints_taken,
+            "checkpoints_rejected": executor.checkpoints_rejected,
+            "replayed_batches": executor.replayed_batches,
+            "failovers": self.pipeline.failovers,
+        }
 
     def close(self) -> None:
         self.pipeline.close()
@@ -316,6 +393,9 @@ class SoakReport:
     checks_run: Tuple[str, ...] = ALL_CHECKS
     #: canonical output fingerprint (hex digest) per variant.
     fingerprints: Dict[str, str] = field(default_factory=dict)
+    #: chaos variants only: supervision counters (respawns,
+    #: checkpoints taken/rejected, replayed batches, failovers).
+    recovery: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -355,6 +435,14 @@ class SoakReport:
         for variant in self.variants:
             lines.append(f"  {variant}: {self.fingerprints.get(variant, '-')}")
         lines.append("")
+        if self.recovery:
+            lines.append("recovery counters (chaos variants):")
+            for variant, stats in self.recovery.items():
+                rendered = " ".join(
+                    f"{name}={value}" for name, value in stats.items()
+                )
+                lines.append(f"  {variant}: {rendered}")
+            lines.append("")
         if self.passed:
             lines.append(
                 f"PASS — all checks held: {', '.join(self.checks_run)}"
@@ -448,6 +536,10 @@ class SoakHarness:
             # No tiered variant in the bank — the hot-tier residency
             # check has nothing to probe.
             skipped.add(CHECK_HOT_TIER)
+        if not any(spec.chaos for spec in specs):
+            # No chaos variant — there is no fault plan whose recovery
+            # could be (non-vacuously) asserted.
+            skipped.add(CHECK_RECOVERY)
         if skipped:
             report.checks_run = tuple(
                 check for check in ALL_CHECKS if check not in skipped
@@ -501,6 +593,7 @@ class SoakHarness:
         self._account_phases(report, truth, specs, collected)
         self._check_recall(report, specs)
         self._check_identity(report, specs, collected)
+        self._check_recovery(report, specs, drivers)
         return report
 
     # ------------------------------------------------------------------
@@ -674,6 +767,46 @@ class SoakHarness:
                         )
                     )
 
+    def _check_recovery(self, report, specs, drivers):
+        """Chaos variants must have actually recovered, not dodged faults.
+
+        The identity oracle already proves the chaos variant's *output*
+        is indistinguishable from a clean run; this check proves the
+        run was genuinely disturbed — at least one worker respawn and
+        at least one admitted checkpoint (the restore path has nothing
+        to restore from otherwise).
+        """
+        for spec, driver in zip(specs, drivers):
+            if not spec.chaos:
+                continue
+            stats = driver.recovery_stats()
+            if stats is None:
+                report.violations.append(
+                    SoakViolation(
+                        CHECK_RECOVERY, -1, spec.name,
+                        "chaos variant exposes no supervision counters "
+                        "(not running under the supervised executor?)",
+                    )
+                )
+                continue
+            report.recovery[spec.name] = stats
+            if stats["respawns"] < 1:
+                report.violations.append(
+                    SoakViolation(
+                        CHECK_RECOVERY, -1, spec.name,
+                        "no worker respawns — the seeded fault plan "
+                        "never fired (vacuous chaos run)",
+                    )
+                )
+            if stats["checkpoints_taken"] < 1:
+                report.violations.append(
+                    SoakViolation(
+                        CHECK_RECOVERY, -1, spec.name,
+                        "no checkpoints admitted — recovery ran without "
+                        "restorable state",
+                    )
+                )
+
     def _check_identity(self, report, specs, collected):
         reference = specs[0].name
         reference_bytes = canonical_bytes(collected[reference])
@@ -718,6 +851,7 @@ __all__ = [
     "CHECK_IDENTITY",
     "CHECK_MEMORY",
     "CHECK_RECALL",
+    "CHECK_RECOVERY",
     "CHECK_SUBSET",
     "resolve_tiered",
     "PhaseReport",

@@ -435,6 +435,105 @@ def test_protocol_inert_without_msg_constants():
     assert analyze_sources({"p.py": source}, ["protocol-exhaustiveness"]) == []
 
 
+# Mirrors the supervision extension: heartbeat (MSG_PING → MSG_PONG echo)
+# and checkpoint round-trips where the worker's *reply* reuses the request
+# tag, so the reply send and the parent-side comparison complete the pair.
+PROTOCOL_SUPERVISED = '''
+MSG_BATCH = "batch"
+MSG_PING = "ping"
+MSG_PONG = "pong"
+MSG_CHECKPOINT = "checkpoint"
+
+
+def supervisor(conn, payload, nonce):
+    conn.send((MSG_BATCH, payload))
+    conn.send((MSG_PING, nonce))
+    tag, echoed = conn.recv()
+    if tag != MSG_PONG:
+        raise ValueError(tag)
+    conn.send((MSG_CHECKPOINT, nonce))
+    tag, record = conn.recv()
+    if tag != MSG_CHECKPOINT:
+        raise ValueError(tag)
+    return record
+
+
+def worker(conn):
+    while True:
+        tag, payload = conn.recv()
+        if tag == MSG_PING:
+            conn.send((MSG_PONG, payload))
+            continue
+        if tag == MSG_CHECKPOINT:
+            conn.send((MSG_CHECKPOINT, payload))
+            continue
+        if tag != MSG_BATCH:
+            raise ValueError(tag)
+'''
+
+
+def test_protocol_supervised_fixture_passes():
+    findings = analyze_sources(
+        {"proto.py": PROTOCOL_SUPERVISED}, ["protocol-exhaustiveness"]
+    )
+    assert findings == []
+
+
+def test_protocol_flags_ping_without_worker_arm():
+    bad = PROTOCOL_SUPERVISED.replace(
+        "        if tag == MSG_PING:\n"
+        "            conn.send((MSG_PONG, payload))\n"
+        "            continue\n",
+        "",
+    )
+    assert bad != PROTOCOL_SUPERVISED
+    findings = analyze_sources({"proto.py": bad}, ["protocol-exhaustiveness"])
+    messages = [f.message for f in findings]
+    assert any("MSG_PING has no dispatch arm" in m for m in messages)
+    assert any("MSG_PONG is never sent" in m for m in messages)
+
+
+def test_protocol_flags_pong_never_checked():
+    bad = PROTOCOL_SUPERVISED.replace(
+        "    if tag != MSG_PONG:\n        raise ValueError(tag)\n", ""
+    )
+    assert bad != PROTOCOL_SUPERVISED
+    findings = analyze_sources({"proto.py": bad}, ["protocol-exhaustiveness"])
+    assert any(
+        "MSG_PONG has no dispatch arm" in f.message for f in findings
+    )
+
+
+def test_protocol_flags_checkpoint_with_no_dispatch_arm():
+    # Dropping the worker's arm alone is clean — the supervisor's reply
+    # check still dispatches on the tag; dropping both sides flags it.
+    bad = PROTOCOL_SUPERVISED.replace(
+        "        if tag == MSG_CHECKPOINT:\n"
+        "            conn.send((MSG_CHECKPOINT, payload))\n"
+        "            continue\n",
+        "",
+    ).replace(
+        "    tag, record = conn.recv()\n"
+        "    if tag != MSG_CHECKPOINT:\n"
+        "        raise ValueError(tag)\n",
+        "    tag, record = conn.recv()\n",
+    )
+    assert bad != PROTOCOL_SUPERVISED
+    findings = analyze_sources({"proto.py": bad}, ["protocol-exhaustiveness"])
+    assert any(
+        "MSG_CHECKPOINT has no dispatch arm" in f.message for f in findings
+    )
+
+
+def test_protocol_flags_raw_ping_literal_in_dispatcher():
+    bad = PROTOCOL_SUPERVISED.replace(
+        "        if tag == MSG_PING:", '        if tag == "ping":'
+    )
+    assert bad != PROTOCOL_SUPERVISED
+    findings = analyze_sources({"proto.py": bad}, ["protocol-exhaustiveness"])
+    assert any("raw tag literal 'ping'" in f.message for f in findings)
+
+
 # ---------------------------------------------------------------------------
 # determinism fixtures
 # ---------------------------------------------------------------------------
@@ -639,6 +738,8 @@ def test_seeded_missing_dispatch_arm_breaks_protocol_rule():
 
 
 def test_real_shard_module_passes_protocol_rule():
+    # supervision.py completes the protocol: MSG_PING / MSG_CHECKPOINT
+    # sends (and the MSG_PONG comparisons) live on the supervising side.
     findings = analyze_sources(
         {
             "src/repro/parallel/shard.py": _real_source(
@@ -646,6 +747,9 @@ def test_real_shard_module_passes_protocol_rule():
             ),
             "src/repro/parallel/executors.py": _real_source(
                 "src/repro/parallel/executors.py"
+            ),
+            "src/repro/parallel/supervision.py": _real_source(
+                "src/repro/parallel/supervision.py"
             ),
         },
         ["protocol-exhaustiveness"],

@@ -2,11 +2,11 @@
 
 Two halves:
 
-* the harness *passes* on a healthy engine (all five checks hold, the
+* the harness *passes* on a healthy engine (all six checks hold, the
   per-phase accounting is conserved, fingerprints agree, both executor
-  banks work); and
+  banks work — including the chaos bank's supervised twin); and
 * **failure injection** — a deliberately broken pipeline stub must trip
-  each of the five checks individually, proving none of them is
+  each of the six checks individually, proving none of them is
   vacuous.  Each stub wraps the real driver and tampers with exactly
   one contract; tampering uniformly across variants isolates the
   targeted check (e.g. dropping the same results everywhere breaks
@@ -21,6 +21,7 @@ from repro.workloads.soak import (
     CHECK_IDENTITY,
     CHECK_MEMORY,
     CHECK_RECALL,
+    CHECK_RECOVERY,
     CHECK_SUBSET,
     PipelineDriver,
     SoakConfig,
@@ -53,8 +54,11 @@ class TestHealthySoak:
         report = run_soak(small_soak())
         assert report.passed, [str(v) for v in report.violations]
         # No tiered variant in the default bank, so the hot-tier
-        # residency check has nothing to probe and reports as not run.
-        assert set(report.checks_run) == set(ALL_CHECKS) - {CHECK_HOT_TIER}
+        # residency check has nothing to probe and reports as not run;
+        # likewise recovery without a chaos variant.
+        assert set(report.checks_run) == (
+            set(ALL_CHECKS) - {CHECK_HOT_TIER, CHECK_RECOVERY}
+        )
         assert report.variants == [
             "serial-1", "serial-2", "serial-4", "serial-4-rebalanced"
         ]
@@ -108,7 +112,7 @@ class TestHealthySoak:
             store=TieredStoreConfig(hot_budget=64, bucket_span_ms=100),
         ))
         assert report.passed, [str(v) for v in report.violations]
-        assert set(report.checks_run) == set(ALL_CHECKS)
+        assert set(report.checks_run) == set(ALL_CHECKS) - {CHECK_RECOVERY}
         assert "serial-1-tiered" in report.variants
         # The tiered twins joined the byte-identity oracle: one
         # fingerprint across memory and tiered variants alike.
@@ -125,6 +129,23 @@ class TestHealthySoak:
         second = run_soak(small_soak())
         assert first.fingerprints == second.fingerprints
         assert first.truth_total == second.truth_total
+
+    def test_chaos_bank_passes_with_recovery_check(self):
+        report = run_soak(small_soak(
+            phases=2, shard_counts=(1, 2), executor="process", chaos=True,
+        ))
+        assert report.passed, [str(v) for v in report.violations]
+        # Chaos arms the recovery check (only hot-tier stays dormant).
+        assert set(report.checks_run) == set(ALL_CHECKS) - {CHECK_HOT_TIER}
+        assert "supervised-2-chaos" in report.variants
+        # The identity oracle cannot tell the crashed-and-recovered
+        # variant's output from the clean runs.
+        assert len(set(report.fingerprints.values())) == 1
+        stats = report.recovery["supervised-2-chaos"]
+        assert stats["respawns"] >= 1
+        assert stats["checkpoints_taken"] >= 1
+        text = report.render()
+        assert "recovery counters" in text and "respawns=" in text
 
 
 # ----------------------------------------------------------------------
@@ -277,6 +298,31 @@ class TestFailureInjection:
         assert {v.check for v in report.violations} == {CHECK_HOT_TIER}
         assert all(v.variant.endswith("-tiered") for v in report.violations)
 
+    def test_recovery_check_trips_on_vacuous_chaos_run(self):
+        class Undisturbed(PipelineDriver):
+            """Reports zeroed supervision counters: the join output is
+            intact (subset/recall/identity all hold), so only the
+            recovery check's vacuousness guards can trip — proving a
+            chaos run whose faults never fire does not pass silently."""
+
+            def recovery_stats(self):
+                stats = super().recovery_stats()
+                if stats is None:
+                    return None
+                return {name: 0 for name in stats}
+
+        report, _ = run_with_driver(
+            Undisturbed,
+            phases=2,
+            shard_counts=(1, 2),
+            executor="process",
+            chaos=True,
+        )
+        assert not report.passed
+        assert {v.check for v in report.violations} == {CHECK_RECOVERY}
+        details = " ".join(v.detail for v in report.violations)
+        assert "vacuous" in details
+
     def test_failing_report_renders_violations(self):
         class Ballooning(PipelineDriver):
             def state_sizes(self):
@@ -309,9 +355,20 @@ class TestSoakPlumbing:
         assert report.variants == ["serial-1"]
         assert CHECK_IDENTITY not in report.checks_run
         assert set(report.checks_run) == (
-            set(ALL_CHECKS) - {CHECK_IDENTITY, CHECK_HOT_TIER}
+            set(ALL_CHECKS) - {CHECK_IDENTITY, CHECK_HOT_TIER, CHECK_RECOVERY}
         )
         assert "identity" not in report.render().split("all checks held:")[-1]
+
+    def test_chaos_bank_appends_supervised_twin_of_top_shard_count(self):
+        config = small_soak(executor="process", shard_counts=(2, 4), chaos=True)
+        specs = config.variants()
+        assert [s.name for s in specs] == [
+            "serial-1", "process-2", "process-4", "process-4-rebalanced",
+            "supervised-4-chaos",
+        ]
+        twin = specs[-1]
+        assert twin.executor == "supervised"
+        assert twin.chaos and twin.rebalance and twin.shards == 4
 
     def test_canonical_bytes_is_order_independent(self):
         a = bogus_result(ts=10)

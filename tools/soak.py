@@ -16,12 +16,19 @@ the output stays byte-identical to the in-memory store, and the
 hot-tier check asserts per-stream hot residency under the configured
 budget (plus analytic slack).
 
+``--chaos`` adds a supervised twin of the top shard count running under
+the seeded fault plan (:func:`repro.faults.chaos_plan` — SIGKILLs,
+crashes, hangs, checkpoint corruption, migration-barrier crashes): the
+identity oracle must not be able to tell its recovered output from a
+clean run, and the recovery check asserts the faults actually fired.
+
 Examples::
 
     python tools/soak.py --phases 3 --seed 7
     python tools/soak.py --phases 5 --executor serial --shards 1,2,4,8
     python tools/soak.py --phases 3 --executor process --transport objects
     python tools/soak.py --phases 3 --window-s 4.0 --store tiered --hot-budget 256
+    python tools/soak.py --chaos --seed 7 --phases 2 --phase-duration-ms 4000
 
 The phase report is printed and written to ``results/soak_report.txt``
 (CI uploads it as an artifact).  Exit status 0 iff every check of every
@@ -100,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="tiered store cold-bucket span in ms (implies --store "
              "tiered; default: the TieredStoreConfig default)",
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="add a supervised chaos twin running under the seeded "
+             "fault plan (crashes, SIGKILLs, hangs, checkpoint "
+             "corruption) and arm the recovery check; forces the "
+             "process bank only (worker faults need worker processes)",
+    )
     parser.add_argument("--out", default="soak_report",
                         help="report name under results/ (default: soak_report)")
     return parser
@@ -143,6 +157,15 @@ def main(argv=None) -> int:
     executors = (
         ("serial", "process") if args.executor == "both" else (args.executor,)
     )
+    if args.chaos and len(executors) > 1:
+        # One chaos bank is enough: the faults live in worker processes,
+        # and the serial reference rides inside the bank anyway.
+        print(
+            "note: --chaos runs a single bank (executor=process); the "
+            "serial reference is part of it",
+            file=sys.stderr,
+        )
+        executors = ("process",)
     store = store_spec(args)
     sections = []
     all_passed = True
@@ -158,6 +181,7 @@ def main(argv=None) -> int:
             recall_requirement=args.recall,
             bid_channels=args.bid_channels,
             store=store,
+            chaos=args.chaos,
         )
         started = time.perf_counter()
         report = run_soak(config)
