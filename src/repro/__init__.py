@@ -77,15 +77,18 @@ from .join.window import SlidingWindow
 from .parallel import (
     TRANSPORT_BLOCKS,
     TRANSPORT_OBJECTS,
+    TRANSPORT_SHM,
     KeyRouter,
     MigrationSpec,
     MultiprocessingExecutor,
     PartitionedPipeline,
+    PipelinedIngest,
     Rebalancer,
     SerialExecutor,
     ShardExecutor,
     ShardFailure,
     ShardOutcome,
+    ShmRing,
     SupervisedExecutor,
     SupervisionConfig,
     load_imbalance,
@@ -149,8 +152,10 @@ __all__ = [
     # parallel scale-out
     "PartitionedPipeline", "KeyRouter", "ShardExecutor", "SerialExecutor",
     "MultiprocessingExecutor", "ShardOutcome", "run_partitioned",
-    "TRANSPORT_BLOCKS", "TRANSPORT_OBJECTS", "Rebalancer", "MigrationSpec",
-    "load_imbalance",
+    "TRANSPORT_BLOCKS", "TRANSPORT_OBJECTS", "TRANSPORT_SHM",
+    "Rebalancer", "MigrationSpec", "load_imbalance",
+    # pipelined ingestion & shared-memory transport
+    "PipelinedIngest", "ShmRing",
     # fault tolerance
     "ShardFailure", "SupervisedExecutor", "SupervisionConfig",
     "FaultPlan", "FaultSpec", "chaos_plan",

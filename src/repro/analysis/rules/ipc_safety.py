@@ -30,6 +30,9 @@ from ..astutils import call_attr, flatten_container_values
 from ..core import Finding, ModuleIndex, Rule, register
 
 #: Method/function names whose arguments cross a process boundary.
+#: ``_send_message`` / ``_reply`` pickle their message themselves (to
+#: frame it for a shared-memory ring), so their arguments face exactly
+#: the same constraints as a pipe ``send``.
 IPC_CALLEES = (
     "submit",
     "submit_batch",
@@ -38,6 +41,8 @@ IPC_CALLEES = (
     "send",
     "_send",
     "send_bytes",
+    "_send_message",
+    "_reply",
 )
 
 #: Constructor names treated as process spawns.

@@ -10,7 +10,9 @@ closes the loop statically:
 
 * every defined ``MSG_*`` constant must appear in at least one **send**
   — as the first element of a tuple passed to a call whose callee is
-  named ``send`` / ``_send`` / ``send_bytes``;
+  named ``send`` / ``_send`` / ``send_bytes`` / ``_send_message`` /
+  ``_reply`` (the latter two wrap pipe-or-ring delivery for the
+  shared-memory transport);
 * every defined ``MSG_*`` constant must appear in at least one
   **dispatch arm** — an ``==`` / ``!=`` comparison against it;
 * a comparison against an *undefined* ``MSG_*`` name is a stale arm
@@ -37,8 +39,11 @@ from ..core import Finding, ModuleIndex, Rule, SourceModule, register
 
 MSG_NAME = re.compile(r"^MSG_[A-Z0-9_]+$")
 
-#: Callee names whose tuple arguments count as protocol sends.
-SEND_CALLEES = ("send", "_send", "send_bytes")
+#: Callee names whose tuple arguments count as protocol sends.  The
+#: ``_send_message`` / ``_reply`` wrappers route one already-built
+#: protocol tuple through either the pipe or a shared-memory ring, so a
+#: tag whose only sender goes through them is live, not dead, protocol.
+SEND_CALLEES = ("send", "_send", "send_bytes", "_send_message", "_reply")
 
 
 def _defined_tags(

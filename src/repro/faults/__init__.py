@@ -11,10 +11,12 @@ from .plan import (
     KIND_CORRUPT_CHECKPOINT,
     KIND_CRASH_AFTER_BATCH,
     KIND_CRASH_BEFORE_BATCH,
+    KIND_CRASH_MID_RING_WRITE,
     KIND_CRASH_ON_MIGRATE,
     KIND_HANG_BEFORE_BATCH,
     KIND_SIGKILL_BEFORE_BATCH,
     KIND_SLOW_RECV,
+    KIND_STALL_RECV,
     FaultInjector,
     FaultPlan,
     FaultSpec,
@@ -27,10 +29,12 @@ __all__ = [
     "KIND_CORRUPT_CHECKPOINT",
     "KIND_CRASH_AFTER_BATCH",
     "KIND_CRASH_BEFORE_BATCH",
+    "KIND_CRASH_MID_RING_WRITE",
     "KIND_CRASH_ON_MIGRATE",
     "KIND_HANG_BEFORE_BATCH",
     "KIND_SIGKILL_BEFORE_BATCH",
     "KIND_SLOW_RECV",
+    "KIND_STALL_RECV",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

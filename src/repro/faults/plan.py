@@ -24,12 +24,24 @@ Fault kinds
   process stays alive, so only a ping timeout can surface it.
 * ``slow-recv`` — sleep ``param`` seconds (default 0.05) before *every*
   batch from the Nth on: degraded-but-alive, must NOT trip supervision.
+* ``stall-recv`` — sleep ``param`` seconds (default 1.0) before the Nth
+  batch, once: a worker that stops consuming long enough for the
+  pipelined feeder's credit window (and a small shm ring) to fill.  The
+  observable outcome must be *backpressure* — the feeder stalls and
+  resumes, byte-identical output, zero respawns — never a deadlock or a
+  spurious supervision trip (keep ``param`` under the heartbeat
+  timeout).
 * ``crash-on-migrate`` — ``os._exit`` on the Nth ``MSG_MIGRATE_OUT``,
   after draining/extracting but before the state reply leaves: a crash
   in the middle of the rebalancing barrier.
 * ``corrupt-checkpoint`` — flip one byte of the Nth checkpoint frame's
   payload before it ships: the parent's CRC check must reject it and
   recover from the previous checkpoint.
+* ``crash-mid-ring-write`` — on the Nth reply-ring write (shm transport
+  only), tear the frame — header plus half the payload, write cursor
+  never published — then ``os._exit``: a crash in the middle of a
+  shared-memory write.  The parent must see a dead worker, never the
+  torn bytes, and replay must stay byte-identical.
 
 Occurrence counters live in the worker process and restart from zero in
 every incarnation.  By default a spec is *one-shot across the run*: the
@@ -52,8 +64,10 @@ KIND_CRASH_AFTER_BATCH = "crash-after-batch"
 KIND_SIGKILL_BEFORE_BATCH = "sigkill-before-batch"
 KIND_HANG_BEFORE_BATCH = "hang-before-batch"
 KIND_SLOW_RECV = "slow-recv"
+KIND_STALL_RECV = "stall-recv"
 KIND_CRASH_ON_MIGRATE = "crash-on-migrate"
 KIND_CORRUPT_CHECKPOINT = "corrupt-checkpoint"
+KIND_CRASH_MID_RING_WRITE = "crash-mid-ring-write"
 
 FAULT_KINDS = (
     KIND_CRASH_BEFORE_BATCH,
@@ -61,8 +75,10 @@ FAULT_KINDS = (
     KIND_SIGKILL_BEFORE_BATCH,
     KIND_HANG_BEFORE_BATCH,
     KIND_SLOW_RECV,
+    KIND_STALL_RECV,
     KIND_CRASH_ON_MIGRATE,
     KIND_CORRUPT_CHECKPOINT,
+    KIND_CRASH_MID_RING_WRITE,
 )
 
 #: ``os._exit`` status of injected crashes — distinct from Python's
@@ -77,6 +93,11 @@ DEFAULT_HANG_S = 600.0
 
 #: Default per-batch sleep of a ``slow-recv`` fault.
 DEFAULT_SLOW_S = 0.05
+
+#: Default one-shot sleep of a ``stall-recv`` fault: long enough that a
+#: small credit window demonstrably fills (the feeder measurably
+#: stalls), short enough to stay under any sane heartbeat timeout.
+DEFAULT_STALL_S = 1.0
 
 
 @dataclass(frozen=True)
@@ -152,6 +173,7 @@ class FaultInjector:
         self._batches = 0
         self._migrates = 0
         self._checkpoints = 0
+        self._ring_writes = 0
 
     def _fire(self, kind: str, count: int) -> Optional[FaultSpec]:
         for spec in self._specs:
@@ -178,6 +200,9 @@ class FaultInjector:
         slow = self._fire(KIND_SLOW_RECV, n)
         if slow is not None:
             time.sleep(slow.param if slow.param is not None else DEFAULT_SLOW_S)
+        stall = self._fire(KIND_STALL_RECV, n)
+        if stall is not None:
+            time.sleep(stall.param if stall.param is not None else DEFAULT_STALL_S)
 
     def after_batch(self) -> None:
         """Hook after the Nth batch's results joined the accumulator."""
@@ -188,6 +213,22 @@ class FaultInjector:
         """Hook between state extraction and the migration state reply."""
         self._migrates += 1
         if self._fire(KIND_CRASH_ON_MIGRATE, self._migrates) is not None:
+            os._exit(CRASH_EXIT_CODE)
+
+    def on_ring_write(self, ring: object, frame: bytes) -> None:
+        """Hook before the Nth worker reply-ring write (shm transport).
+
+        Fires ``crash-mid-ring-write``: leaves the ring's torn state via
+        its ``torn_write`` test hook — frame header and half the payload
+        in place, write cursor never published — then dies abruptly.
+        ``ring`` is duck-typed (anything with ``torn_write``) so this
+        module stays import-light.
+        """
+        self._ring_writes += 1
+        if self._fire(KIND_CRASH_MID_RING_WRITE, self._ring_writes) is not None:
+            torn = getattr(ring, "torn_write", None)
+            if torn is not None:
+                torn(frame)
             os._exit(CRASH_EXIT_CODE)
 
     def corrupt_payload(self, payload: bytes) -> bytes:

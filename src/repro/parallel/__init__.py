@@ -12,8 +12,13 @@ runtime by migrating slot state between shards.  A third executor,
 process executor in heartbeat supervision, periodic checkpoints and
 bounded-replay recovery so worker crashes and hangs surface as typed
 :class:`~repro.parallel.shard.ShardFailure` (and, with recovery armed,
-heal byte-identically).  See :mod:`repro.parallel.pipeline` for the
-exactness semantics.
+heal byte-identically).  Ingestion can be pipelined off the caller's
+thread (:class:`~repro.parallel.ingest.PipelinedIngest`) with
+credit-based backpressure, and the process executors can carry their
+block frames through per-shard shared-memory rings
+(:data:`~repro.parallel.shard.TRANSPORT_SHM`,
+:class:`~repro.parallel.shm.ShmRing`) instead of the pipe.  See
+:mod:`repro.parallel.pipeline` for the exactness semantics.
 """
 
 from .executors import (
@@ -22,6 +27,7 @@ from .executors import (
     SerialExecutor,
     ShardExecutor,
 )
+from .ingest import DEFAULT_MAX_PENDING, PipelinedIngest
 from .pipeline import (
     DEFAULT_REBALANCE_INTERVAL,
     PartitionedPipeline,
@@ -32,33 +38,53 @@ from .router import DEFAULT_SLOTS_PER_SHARD, KeyRouter, stable_hash
 from .shard import (
     TRANSPORT_BLOCKS,
     TRANSPORT_OBJECTS,
+    TRANSPORT_SHM,
     TRANSPORTS,
     FailoverState,
     ShardFailure,
     ShardOutcome,
+    transport_encodes_blocks,
+)
+from .shm import (
+    DEFAULT_RING_BYTES,
+    RingAborted,
+    RingError,
+    RingIntegrityError,
+    RingTimeout,
+    ShmRing,
 )
 from .supervision import SupervisedExecutor, SupervisionConfig
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MAX_PENDING",
     "DEFAULT_REBALANCE_INTERVAL",
+    "DEFAULT_RING_BYTES",
     "DEFAULT_SLOTS_PER_SHARD",
     "FailoverState",
     "KeyRouter",
     "MigrationSpec",
     "MultiprocessingExecutor",
     "PartitionedPipeline",
+    "PipelinedIngest",
     "Rebalancer",
+    "RingAborted",
+    "RingError",
+    "RingIntegrityError",
+    "RingTimeout",
     "SerialExecutor",
     "ShardExecutor",
     "ShardFailure",
     "ShardOutcome",
+    "ShmRing",
     "SupervisedExecutor",
     "SupervisionConfig",
     "TRANSPORT_BLOCKS",
     "TRANSPORT_OBJECTS",
+    "TRANSPORT_SHM",
     "TRANSPORTS",
     "load_imbalance",
     "run_partitioned",
     "stable_hash",
+    "transport_encodes_blocks",
 ]

@@ -46,12 +46,17 @@ from .rebalancer import MigrationSpec
 from .shard import (
     MSG_ABORT,
     MSG_BATCH,
+    MSG_CREDIT,
     MSG_FLUSH,
     MSG_MIGRATE_IN,
     MSG_MIGRATE_OUT,
+    MSG_RING,
+    MSG_RING_REPLY,
     TRANSPORT_BLOCKS,
+    TRANSPORT_SHM,
     TRANSPORTS,
     Outputs,
+    RingDescriptors,
     ShardFailure,
     ShardOutcome,
     adopt_shard_state,
@@ -59,7 +64,9 @@ from .shard import (
     extract_shard_state,
     merge_outputs,
     shard_worker,
+    transport_encodes_blocks,
 )
+from .shm import DEFAULT_RING_BYTES, RingAborted, RingError, ShmRing
 
 #: Tuples buffered per shard before one IPC dispatch.  Amortizes the
 #: per-message pickling/pipe cost; raise it for throughput, lower it for
@@ -221,6 +228,8 @@ class MultiprocessingExecutor(ShardExecutor):
         batch_size: int = DEFAULT_BATCH_SIZE,
         start_method: Optional[str] = None,
         transport: str = TRANSPORT_BLOCKS,
+        credit_window: Optional[int] = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         super().__init__(config, num_shards)
         if batch_size < 1:
@@ -228,6 +237,10 @@ class MultiprocessingExecutor(ShardExecutor):
         if transport not in TRANSPORTS:
             raise ValueError(
                 f"transport must be one of {TRANSPORTS}, got {transport!r}"
+            )
+        if credit_window is not None and credit_window < 1:
+            raise ValueError(
+                f"credit_window must be >= 1, got {credit_window}"
             )
         self.batch_size = batch_size
         self.transport = transport
@@ -240,9 +253,25 @@ class MultiprocessingExecutor(ShardExecutor):
         self._batches: List[List[StreamTuple]] = [[] for _ in range(num_shards)]
         self._encoders: Optional[List[BlockEncoder]] = (
             [BlockEncoder() for _ in range(num_shards)]
-            if transport == TRANSPORT_BLOCKS
+            if transport_encodes_blocks(transport)
             else None
         )
+        #: Credit-based backpressure: with a window of W, at most W
+        #: dispatched-but-unconfirmed batches may be in flight per shard
+        #: (the worker confirms each processed batch with MSG_CREDIT).
+        #: ``None`` disables both the stall and the worker-side grants —
+        #: the synchronous driver's behavior, where pipe buffering is
+        #: the only in-flight bound.
+        self._credit_window = credit_window
+        self._dispatched: List[int] = [0] * num_shards
+        self._credited: List[int] = [0] * num_shards
+        self._ring_bytes = ring_bytes
+        # Per-shard shared-memory ring pairs (shm transport only):
+        # parent→worker data ring and worker→parent reply ring.  Created
+        # fresh per worker incarnation in _spawn_worker; unlinked on
+        # every unwind path (_release_rings).
+        self._rings: List[Optional[ShmRing]] = []
+        self._reply_rings: List[Optional[ShmRing]] = []
         self._connections = []
         self._processes = []
         self._finished = False
@@ -258,19 +287,54 @@ class MultiprocessingExecutor(ShardExecutor):
             self.close()
             raise
 
+    def _fault_plan_for(self, shard: int):
+        """Fault plan handed to ``shard``'s next incarnation (subclass
+        hook — the base executor injects nothing)."""
+        return None
+
+    def _ring_descriptors(self, shard: int) -> Optional[RingDescriptors]:
+        """The shard's ring pair as picklable worker args, or ``None``."""
+        if not self._rings or self._rings[shard] is None:
+            return None
+        ring, reply = self._rings[shard], self._reply_rings[shard]
+        assert ring is not None and reply is not None
+        return (ring.descriptor, reply.descriptor)
+
     def _worker_args(self, shard: int) -> tuple:
         """``shard_worker`` args after the connection (subclass hook)."""
-        return (shard, self.config, self.transport)
+        return (
+            shard,
+            self.config,
+            self.transport,
+            self._fault_plan_for(shard),
+            self._ring_descriptors(shard),
+            self._credit_window is not None,
+        )
 
     def _spawn_worker(self, shard: int) -> None:
         """Start ``shard``'s worker on a fresh pipe.
 
         Appends on first spawn; replaces in place when the supervised
         subclass respawns a worker (whose caller has already retired the
-        previous incarnation's process and connection).  A fresh pipe
-        per incarnation means no stale message from a dead epoch can
-        ever be read back.
+        previous incarnation's process and connection).  A fresh pipe —
+        and, under the shm transport, a fresh ring pair — per
+        incarnation means no stale message or frame from a dead epoch
+        can ever be read back, and keeps each incarnation's ring
+        sequence numbers starting from 1 (mirroring the supervisor's
+        per-epoch seq accounting).
         """
+        if self.transport == TRANSPORT_SHM:
+            while len(self._rings) <= shard:
+                self._rings.append(None)
+                self._reply_rings.append(None)
+            for stale in (self._rings[shard], self._reply_rings[shard]):
+                if stale is not None:  # retired incarnation's segments
+                    stale.close()
+                    stale.unlink()
+            self._rings[shard] = ShmRing.create(self._ring_bytes)
+            self._reply_rings[shard] = ShmRing.create(self._ring_bytes)
+        self._dispatched[shard] = 0
+        self._credited[shard] = 0
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         if self._encoders is not None:
             # The worker's decoder starts empty, so the connection's
@@ -335,15 +399,19 @@ class MultiprocessingExecutor(ShardExecutor):
         self, shard: int, pending: Sequence[StreamTuple], start: int, stop: int
     ) -> None:
         """Send ``pending[start:stop]`` as one MSG_BATCH message."""
+        if self._credit_window is not None:
+            self._await_credit(shard)
         if self._encoders is not None:
             payload = self._encoders[shard].encode(pending, start, stop)
         elif start == 0 and stop == len(pending):
-            # Serialization happens synchronously in _send, so the live
-            # buffer can be passed (and cleared by the caller) directly.
+            # Serialization happens synchronously in _send_message, so
+            # the live buffer can be passed (and cleared by the caller)
+            # directly.
             payload = pending
         else:
             payload = pending[start:stop]
-        self._send(shard, (MSG_BATCH, payload))
+        self._send_message(shard, (MSG_BATCH, payload))
+        self._dispatched[shard] += 1
 
     def _flush_pending(self, shard: int) -> None:
         """Ship whatever sits in ``shard``'s parent-side batch buffer.
@@ -385,7 +453,9 @@ class MultiprocessingExecutor(ShardExecutor):
         if self._finished:
             raise RuntimeError("executor already finished")
         self._flush_pending(shard)
-        self._send(shard, (MSG_MIGRATE_IN, state))
+        # Migrated state can be arbitrarily large — ride the ring when
+        # one is armed, like any bulky message.
+        self._send_message(shard, (MSG_MIGRATE_IN, state))
         return empty_outputs(self.config.collect_results)
 
     def _send(self, shard: int, message) -> None:
@@ -400,6 +470,115 @@ class MultiprocessingExecutor(ShardExecutor):
             )
         except OSError as exc:
             raise self._dead_worker(shard, str(exc)) from exc
+
+    def _send_message(self, shard: int, message) -> None:
+        """Ship one bulky parent → worker message by the armed transport.
+
+        Under the shm transport the pickled message is written once into
+        the shard's inbound ring and only a ``(MSG_RING, seq)`` doorbell
+        crosses the pipe; frames the ring can never hold fall back to
+        the pipe whole.  Other transports go straight through
+        :meth:`_send`.  The doorbell travels the same pipe as every
+        other message, so FIFO ordering — and with it the supervised
+        epoch/seq accounting — is untouched by which carrier the bytes
+        took.
+        """
+        ring = self._rings[shard] if self._rings else None
+        if ring is None:
+            self._send(shard, message)
+            return
+        frame = pickle.dumps(message, protocol=PICKLE_PROTOCOL)
+        if not ring.fits(len(frame)):
+            try:
+                self._connections[shard].send_bytes(frame)
+            except OSError as exc:
+                raise self._dead_worker(shard, str(exc)) from exc
+            return
+        process = self._processes[shard] if shard < len(self._processes) else None
+
+        def worker_dead() -> bool:
+            return process is not None and process.exitcode is not None
+
+        try:
+            seq = ring.write_frame(frame, should_abort=worker_dead)
+        except RingAborted as exc:
+            raise self._dead_worker(shard, str(exc)) from exc
+        self._send(shard, (MSG_RING, seq))
+
+    def _absorb_credit(self, shard: int, tag, payload) -> bool:
+        """Fold one ``(MSG_CREDIT, n)`` grant into the shard's counter."""
+        if tag != MSG_CREDIT:
+            return False
+        if payload > self._credited[shard]:
+            self._credited[shard] = payload
+        return True
+
+    def _await_credit(self, shard: int) -> None:
+        """Stall until the shard's in-flight batch count drops below the
+        credit window.
+
+        This is the backpressure point of the pipelined feeder: a slow
+        worker simply stops granting, and dispatch to that shard blocks
+        here — bounded memory, no deadlock (a *dead* worker surfaces as
+        a typed failure through the same checks ``_await_reply`` uses;
+        a merely stalled one is legal slowness, so there is no timeout).
+        """
+        window = self._credit_window
+        assert window is not None
+        conn = self._connections[shard]
+        process = self._processes[shard] if shard < len(self._processes) else None
+        while self._dispatched[shard] - self._credited[shard] >= window:
+            try:
+                ready = conn.poll(POLL_INTERVAL_S)
+            except OSError as exc:
+                exitcode = None if process is None else process.exitcode
+                raise ShardFailure(
+                    shard,
+                    f"worker pipe broken (exit code {exitcode}): {exc}",
+                ) from None
+            if ready:
+                try:
+                    tag, payload = conn.recv()
+                except (EOFError, OSError):
+                    raise ShardFailure(
+                        shard,
+                        "worker died holding "
+                        f"{self._dispatched[shard] - self._credited[shard]} "
+                        "uncredited batches",
+                    ) from None
+                if tag == "error":
+                    raise ShardFailure(shard, str(payload), recoverable=False)
+                if not self._absorb_credit(shard, tag, payload):
+                    raise ShardFailure(
+                        shard,
+                        f"unexpected {tag!r} message while awaiting credit",
+                    )
+                continue
+            if process is not None and process.exitcode is not None:
+                try:
+                    buffered = conn.poll(0)
+                except OSError:
+                    buffered = False
+                if not buffered:
+                    raise ShardFailure(
+                        shard,
+                        f"worker exited with code {process.exitcode} "
+                        "before granting credit",
+                    )
+
+    def _read_ring_reply(self, shard: int, seq: int):
+        """Resolve a ``(MSG_RING_REPLY, seq)`` doorbell into the framed
+        reply from the shard's outbound ring."""
+        ring = self._reply_rings[shard]
+        assert ring is not None
+        try:
+            # The worker writes the frame before ringing the doorbell,
+            # so the read never truly waits; the timeout is a torn-state
+            # backstop, not a liveness mechanism.
+            frame = ring.read_frame(seq, timeout_s=60.0)
+        except RingError as exc:
+            raise ShardFailure(shard, f"reply ring failed: {exc}") from exc
+        return pickle.loads(frame)
 
     def _dead_worker(self, shard: int, cause: str) -> ShardFailure:
         """Build the typed failure for a pipe that broke under a send.
@@ -455,13 +634,18 @@ class MultiprocessingExecutor(ShardExecutor):
                 ) from None
             if ready:
                 try:
-                    return conn.recv()
+                    tag, payload = conn.recv()
                 except (EOFError, OSError):
                     raise ShardFailure(
                         shard,
                         "worker died without reporting "
                         f"(exit code {process.exitcode})",
                     ) from None
+                if self._absorb_credit(shard, tag, payload):
+                    continue  # late grant interleaved with the reply
+                if tag == MSG_RING_REPLY:
+                    return self._read_ring_reply(shard, payload)
+                return tag, payload
             if process.exitcode is not None:
                 try:
                     buffered = conn.poll(0)
@@ -481,12 +665,23 @@ class MultiprocessingExecutor(ShardExecutor):
                     "(worker alive but unresponsive)",
                 )
 
+    def _release_rings(self) -> None:
+        """Close and unlink every owned ring segment.  Idempotent; part
+        of every unwind path (finish, close, constructor failure) so no
+        ``/dev/shm`` segment outlives the executor."""
+        for ring in self._rings + self._reply_rings:
+            if ring is not None:
+                ring.close()
+                ring.unlink()
+        self._rings = []
+        self._reply_rings = []
+
     def finish(self) -> List[ShardOutcome]:
         if self._finished:
             raise RuntimeError("executor already finished")
         self._finished = True
         decode_results = (
-            self.transport == TRANSPORT_BLOCKS and self.config.collect_results
+            self._encoders is not None and self.config.collect_results
         )
         outcomes: List[ShardOutcome] = []
         try:
@@ -518,6 +713,7 @@ class MultiprocessingExecutor(ShardExecutor):
                 if process.is_alive():  # pragma: no cover - defensive
                     process.terminate()
                     process.join(timeout=5)
+            self._release_rings()
         return outcomes
 
     def close(self) -> None:
@@ -550,9 +746,11 @@ class MultiprocessingExecutor(ShardExecutor):
             except OSError:  # pragma: no cover - already closed
                 pass
         if already_finished:
+            self._release_rings()  # no-op after finish, real after close
             return  # finish() already joined the workers
         for process in self._processes:
             process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join(timeout=5)
+        self._release_rings()

@@ -77,7 +77,9 @@ from .shard import (
     ShardOutcome,
     empty_outputs,
     merge_outputs,
+    transport_encodes_blocks,
 )
+from .shm import DEFAULT_RING_BYTES
 from .supervision import (
     SupervisedExecutor,
     SupervisionConfig,
@@ -117,9 +119,21 @@ class PartitionedPipeline:
         Wire format of the ``"process"`` executor:
         :data:`~repro.parallel.shard.TRANSPORT_BLOCKS` (default —
         columnar :class:`~repro.core.blocks.TupleBlock` /
-        :class:`~repro.core.blocks.ResultBlock` messages) or
+        :class:`~repro.core.blocks.ResultBlock` messages),
+        :data:`~repro.parallel.shard.TRANSPORT_SHM` (the same block
+        frames carried through a per-shard shared-memory ring, the
+        pipe reduced to a doorbell), or
         :data:`~repro.parallel.shard.TRANSPORT_OBJECTS` (legacy
         per-object pickling).
+    credit_window:
+        Arm credit-based backpressure on the process executors: at most
+        this many dispatched-but-unprocessed batches per shard; the
+        parent stalls (never drops, never deadlocks) until the worker
+        grants credit.  ``None`` (default) keeps the OS pipe / ring
+        capacity as the only flow control.
+    ring_bytes:
+        Per-direction shared-memory ring capacity for
+        ``transport="shm"`` (ignored otherwise).
     rebalance:
         Enable skew-aware slot rebalancing (default off).  Every
         ``rebalance_interval`` routed tuples a
@@ -165,6 +179,8 @@ class PartitionedPipeline:
         rebalance_threshold: float = DEFAULT_THRESHOLD,
         supervision: Optional[SupervisionConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        credit_window: Optional[int] = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         self.config = config
         self.num_shards = num_shards
@@ -199,7 +215,12 @@ class PartitionedPipeline:
             self.executor: ShardExecutor = SerialExecutor(config, num_shards)
         elif executor == "process":
             self.executor = MultiprocessingExecutor(
-                config, num_shards, batch_size=batch_size, transport=transport
+                config,
+                num_shards,
+                batch_size=batch_size,
+                transport=transport,
+                credit_window=credit_window,
+                ring_bytes=ring_bytes,
             )
         elif executor == "supervised":
             self.executor = SupervisedExecutor(
@@ -209,6 +230,8 @@ class PartitionedPipeline:
                 transport=transport,
                 supervision=supervision,
                 fault_plan=fault_plan,
+                credit_window=credit_window,
+                ring_bytes=ring_bytes,
             )
         elif callable(executor):
             self.executor = executor(config, num_shards)
@@ -488,8 +511,8 @@ class PartitionedPipeline:
                 beacon_ts=0,
                 drain_floor_ts=0,
             )
-            encode = (
-                getattr(self.executor, "transport", None) == TRANSPORT_BLOCKS
+            encode = transport_encodes_blocks(
+                getattr(self.executor, "transport", None)
             )
             states = partition_failover_state(
                 payload.window, payload.pending, spec, encode=encode
@@ -595,6 +618,10 @@ def run_partitioned(
     rebalance_threshold: float = DEFAULT_THRESHOLD,
     supervision: Optional[SupervisionConfig] = None,
     fault_plan: Optional[FaultPlan] = None,
+    credit_window: Optional[int] = None,
+    ring_bytes: int = DEFAULT_RING_BYTES,
+    pipelined: bool = False,
+    max_pending_batches: Optional[int] = None,
 ) -> tuple:
     """Replay a finite dataset through a :class:`PartitionedPipeline`.
 
@@ -611,8 +638,18 @@ def run_partitioned(
     ``rebalance`` / ``rebalance_interval`` / ``slots_per_shard`` /
     ``rebalance_threshold`` enable and tune skew-aware slot rebalancing;
     ``supervision`` / ``fault_plan`` configure the ``"supervised"``
-    executor's fault tolerance (see :class:`PartitionedPipeline` for
-    all of them).
+    executor's fault tolerance; ``credit_window`` / ``ring_bytes``
+    tune backpressure and the shared-memory transport (see
+    :class:`PartitionedPipeline` for all of them).
+
+    ``pipelined=True`` feeds through a
+    :class:`~repro.parallel.ingest.PipelinedIngest` feeder thread:
+    routing, block encoding and shard dispatch run off the caller's
+    thread behind a bounded queue (``max_pending_batches`` chunks deep),
+    overlapping ingestion with shard compute.  The outputs and merged
+    metrics are byte-identical to the synchronous drive — the feeder
+    preserves submission order end to end.  Bursts are ``chunk_size``
+    tuples (``batch_size`` when ``chunk_size`` is ``None``).
     """
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -628,9 +665,35 @@ def run_partitioned(
         rebalance_threshold=rebalance_threshold,
         supervision=supervision,
         fault_plan=fault_plan,
+        credit_window=credit_window,
+        ring_bytes=ring_bytes,
     ) as pipeline:
         collect = config.collect_results
         outputs = empty_outputs(collect)
+        if pipelined:
+            # Deferred import: ingest builds on PartitionedPipeline, so
+            # a module-level import here would be circular.
+            from .ingest import DEFAULT_MAX_PENDING, PipelinedIngest
+
+            feed_chunk = chunk_size if chunk_size is not None else batch_size
+            pending = (
+                max_pending_batches
+                if max_pending_batches is not None
+                else DEFAULT_MAX_PENDING
+            )
+            with PipelinedIngest(
+                pipeline, max_pending_batches=pending
+            ) as feeder:
+                chunk: List[StreamTuple] = []
+                for t in dataset.arrivals():
+                    chunk.append(t)
+                    if len(chunk) >= feed_chunk:
+                        feeder.submit(chunk)
+                        chunk = []
+                if chunk:
+                    feeder.submit(chunk)
+                outputs = feeder.flush()
+            return outputs, pipeline.metrics
         if chunk_size is None:
             for t in dataset.arrivals():
                 outputs = merge_outputs(collect, outputs, pipeline.process(t))

@@ -17,12 +17,14 @@ and are re-exported here for the rest of the parallel layer.
 
 from __future__ import annotations
 
+import pickle
 from copy import deepcopy
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.blocks import (
+    PICKLE_PROTOCOL,
     BlockDecoder,
     BlockEncoder,
     CheckpointFrame,
@@ -46,6 +48,17 @@ from ..core.tuples import StreamTuple
 from ..faults import FaultInjector, FaultPlan
 from .rebalancer import MigrationSpec
 from .router import stable_hash
+from .shm import RingDescriptor, ShmRing
+
+#: Both rings of one shard, as picklable ``(name, capacity)`` handles in
+#: doorbell order: parent→worker (batches etc.) then worker→parent
+#: (bulky replies).
+RingDescriptors = Tuple[RingDescriptor, RingDescriptor]
+
+#: Safety net on a worker's reply-ring writes.  The parent reads every
+#: reply as soon as its doorbell lands, so in a healthy run a reply
+#: frame never waits for space; a parent wedged this long is gone.
+RING_REPLY_TIMEOUT_S = 120.0
 
 
 @dataclass
@@ -176,6 +189,27 @@ MSG_PONG = "pong"
 #: (re-adopting it locally, so the capture is observationally a no-op)
 #: and replies ``(MSG_CHECKPOINT, CheckpointRecord)``.
 MSG_CHECKPOINT = "checkpoint"
+#: Worker → parent credit grant: payload is the cumulative number of
+#: tuple batches the worker has fully *processed* this incarnation.
+#: Sent after every batch when the executor arms a credit window; the
+#: parent stalls dispatch while ``dispatched - credited >= window``, so
+#: a pipelined feeder can never overrun a slow shard by more than the
+#: window (backpressure, not unbounded queueing).
+MSG_CREDIT = "credit"
+#: Parent → worker doorbell of the shm transport: payload is the
+#: sequence number of a frame already written to the shard's inbound
+#: :class:`~repro.parallel.shm.ShmRing`.  The frame holds the pickled
+#: ``(tag, payload)`` message itself, so the ring carries *any* bulky
+#: protocol message (batches, adopted state) while the pipe keeps its
+#: FIFO role — a doorbell acknowledges nothing by itself, but pipe
+#: ordering still serializes it against pings and replies exactly as if
+#: the full message had traveled inline.
+MSG_RING = "ring"
+#: Worker → parent doorbell, same contract in the reply direction: the
+#: frame in the shard's outbound ring holds the pickled reply (state
+#: lists, checkpoint records, the final outcome).  Small replies —
+#: pongs, errors, credits — stay inline on the pipe.
+MSG_RING_REPLY = "ring_reply"
 
 # Wire formats of the multiprocessing executor's tuple transfer.
 #: Columnar :class:`~repro.core.blocks.TupleBlock` messages with a
@@ -188,8 +222,26 @@ TRANSPORT_BLOCKS = "blocks"
 #: benchmark baseline and as a fallback for exotic payload values whose
 #: pickling relies on object-graph context.
 TRANSPORT_OBJECTS = "objects"
+#: Columnar blocks carried over per-shard shared-memory rings instead of
+#: the pipe: frames are written once into a :class:`ShmRing` and read in
+#: place by the peer, with tiny sequence-numbered doorbells on the pipe
+#: preserving ordering (and the supervisor's epoch/seq accounting).
+#: Messages too large for the ring fall back to the pipe transparently.
+TRANSPORT_SHM = "shm"
 
-TRANSPORTS = (TRANSPORT_BLOCKS, TRANSPORT_OBJECTS)
+TRANSPORTS = (TRANSPORT_BLOCKS, TRANSPORT_OBJECTS, TRANSPORT_SHM)
+
+
+def transport_encodes_blocks(transport: Optional[str]) -> bool:
+    """Whether a transport ships columnar blocks (vs. object graphs).
+
+    The shm transport reuses the block codec wholesale — same
+    ``TupleBlock``/``ResultBlock``/``StateBlock`` frames, different
+    carrier — so every "should I encode/decode?" decision in the
+    executors keys off this predicate instead of a ``== TRANSPORT_BLOCKS``
+    comparison.
+    """
+    return transport in (TRANSPORT_BLOCKS, TRANSPORT_SHM)
 
 
 def slot_classifier(spec: MigrationSpec) -> Callable[[StreamTuple], Optional[int]]:
@@ -349,12 +401,42 @@ def checkpoint_shard_state(
     return frame, outputs
 
 
+def _reply(
+    conn: Connection,
+    ring: Optional[ShmRing],
+    message: Tuple[str, object],
+    injector: Optional[FaultInjector] = None,
+) -> None:
+    """Ship one bulky worker → parent reply.
+
+    With a reply ring armed, the pickled message rides the ring and only
+    a ``(MSG_RING_REPLY, seq)`` doorbell crosses the pipe; without one —
+    or when the frame can never fit — the message travels the pipe
+    whole.  The injector hook sits *between* pickling and the ring
+    write: the ``crash-mid-ring-write`` fault tears the frame there and
+    kills the process, proving a half-written frame is unobservable.
+    """
+    if ring is None:
+        conn.send(message)
+        return
+    frame = pickle.dumps(message, protocol=PICKLE_PROTOCOL)
+    if not ring.fits(len(frame)):
+        conn.send_bytes(frame)
+        return
+    if injector is not None:
+        injector.on_ring_write(ring, frame)
+    seq = ring.write_frame(frame, timeout_s=RING_REPLY_TIMEOUT_S)
+    conn.send((MSG_RING_REPLY, seq))
+
+
 def shard_worker(
     conn: Connection,
     shard: int,
     config: PipelineConfig,
     transport: str = TRANSPORT_OBJECTS,
     faults: Optional[FaultPlan] = None,
+    rings: Optional[RingDescriptors] = None,
+    grant_credits: bool = False,
 ) -> None:
     """Child-process loop: drain tuple batches, flush, send the outcome back.
 
@@ -395,22 +477,42 @@ def shard_worker(
     migration, and checkpoint paths — the supervised executor's chaos
     harness.
 
+    Under ``transport="shm"`` the executor also hands over ``rings`` —
+    descriptors of the shard's inbound and outbound
+    :class:`~repro.parallel.shm.ShmRing` pair.  Bulky messages then ride
+    the rings: the parent writes a frame and sends ``(MSG_RING, seq)``,
+    which this loop resolves back into the framed ``(tag, payload)``
+    before dispatching; bulky replies go out through :func:`_reply` the
+    same way.  With ``grant_credits`` the worker confirms every
+    *processed* batch with ``(MSG_CREDIT, cumulative count)`` — the
+    pipelined feeder's backpressure signal.
+
     Dispatch is exhaustive over the ``MSG_*`` tags (the
     ``protocol-exhaustiveness`` lint rule pins this): any other tag
     raises, surfacing as an ``("error", ...)`` reply, instead of being
     silently treated as a tuple batch.
     """
+    recv_ring: Optional[ShmRing] = None
+    reply_ring: Optional[ShmRing] = None
     try:
+        if rings is not None:
+            recv_ring = ShmRing.attach(*rings[0])
+            reply_ring = ShmRing.attach(*rings[1])
         pipeline = QualityDrivenPipeline(config)
         collect = config.collect_results
         decoder: Optional[BlockDecoder] = (
-            BlockDecoder() if transport == TRANSPORT_BLOCKS else None
+            BlockDecoder() if transport_encodes_blocks(transport) else None
         )
         armed = faults.for_shard(shard) if faults is not None else ()
         injector: Optional[FaultInjector] = FaultInjector(armed) if armed else None
         outputs: Outputs = empty_outputs(collect)
+        consumed = 0
         while True:
             tag, payload = conn.recv()
+            if tag == MSG_RING:
+                if recv_ring is None:
+                    raise ValueError("ring doorbell without an attached ring")
+                tag, payload = pickle.loads(recv_ring.read_frame(payload))
             if tag == MSG_ABORT:
                 return
             if tag == MSG_FLUSH:
@@ -422,7 +524,7 @@ def shard_worker(
                 outputs = merge_outputs(collect, outputs, drained)
                 if injector is not None:
                     injector.on_migrate()
-                conn.send(("state", states))
+                _reply(conn, reply_ring, ("state", states), injector)
                 continue
             if tag == MSG_MIGRATE_IN:
                 adopted = adopt_shard_state(
@@ -452,7 +554,7 @@ def shard_worker(
                     pipeline.join.stats.as_dict(),
                     deepcopy(pipeline.metrics),
                 )
-                conn.send((MSG_CHECKPOINT, record))
+                _reply(conn, reply_ring, (MSG_CHECKPOINT, record), injector)
                 # The delta shipped exactly once; restart the
                 # accumulator so the next checkpoint (or the outcome)
                 # carries only newer results.
@@ -475,16 +577,22 @@ def shard_worker(
             outputs = merge_outputs(collect, outputs, pipeline.process_batch(payload))
             if injector is not None:
                 injector.after_batch()
+            consumed += 1
+            if grant_credits:
+                conn.send((MSG_CREDIT, consumed))
         outputs = merge_outputs(collect, outputs, pipeline.flush())
         if decoder is not None and collect:
             outputs = BlockEncoder().encode_results(outputs)
-        conn.send(
+        _reply(
+            conn,
+            reply_ring,
             (
                 "ok",
                 ShardOutcome(
                     shard, outputs, pipeline.metrics, pipeline.join.stats.as_dict()
                 ),
-            )
+            ),
+            injector,
         )
     except Exception as exc:  # surfaced by the parent as a RuntimeError
         try:
@@ -492,4 +600,8 @@ def shard_worker(
         except OSError:  # parent already gone; nothing left to report to
             pass
     finally:
+        if recv_ring is not None:
+            recv_ring.close()
+        if reply_ring is not None:
+            reply_ring.close()
         conn.close()

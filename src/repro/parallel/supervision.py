@@ -94,6 +94,7 @@ from ..core.pipeline import (
 from ..core.tuples import StreamTuple
 from ..faults import FaultPlan
 from .executors import DEFAULT_BATCH_SIZE, MultiprocessingExecutor
+from .shm import DEFAULT_RING_BYTES
 from .rebalancer import MigrationSpec
 from .shard import (
     MSG_BATCH,
@@ -271,6 +272,8 @@ class SupervisedExecutor(MultiprocessingExecutor):
         transport: str = TRANSPORT_BLOCKS,
         supervision: Optional[SupervisionConfig] = None,
         fault_plan: Optional[FaultPlan] = None,
+        credit_window: Optional[int] = None,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         self.supervision = supervision if supervision is not None else SupervisionConfig()
         self._fault_plan = fault_plan
@@ -308,19 +311,39 @@ class SupervisedExecutor(MultiprocessingExecutor):
             batch_size=batch_size,
             start_method=start_method,
             transport=transport,
+            credit_window=credit_window,
+            ring_bytes=ring_bytes,
         )
 
     # ------------------------------------------------------------------
     # worker lifecycle
     # ------------------------------------------------------------------
 
-    def _worker_args(self, shard: int) -> tuple:
+    def _fault_plan_for(self, shard: int):
         plan = self._fault_plan
         if plan is not None and self._epoch[shard] > 0:
             # One-shot faults already fired in a previous incarnation;
             # re-arming them would make recovery impossible by design.
             plan = plan.respawn_plan(shard)
-        return (shard, self.config, self.transport, plan)
+        return plan
+
+    def _send_batch(self, shard: int, window: Sequence[StreamTuple]) -> None:
+        """Encode + ship one logged batch window.
+
+        Every supervised batch send — live dispatch, replay during
+        restore, the final pending flush — funnels through here: waits
+        for credit when a window is armed, encodes with the *current
+        incarnation's* encoder (a respawned worker negotiates schemas
+        from scratch), and rides the shm ring when one is armed.
+        """
+        if self._credit_window is not None:
+            self._await_credit(shard)
+        if self._encoders is not None:
+            payload = self._encoders[shard].encode(window)
+        else:
+            payload = list(window)
+        self._send_message(shard, (MSG_BATCH, payload))
+        self._dispatched[shard] += 1
 
     def _terminate_worker(self, shard: int) -> None:
         """Retire an incarnation: close its pipe, make sure it is dead."""
@@ -380,7 +403,7 @@ class SupervisedExecutor(MultiprocessingExecutor):
         ckpt = self._checkpoints[shard]
         if ckpt is not None:
             state = unframe_checkpoint(ckpt.frame)
-            self._send(shard, (MSG_MIGRATE_IN, state))
+            self._send_message(shard, (MSG_MIGRATE_IN, state))
             self._stats_base[shard] = dict(ckpt.stats)
             self._metrics_base[shard] = ckpt.metrics
         else:
@@ -388,16 +411,10 @@ class SupervisedExecutor(MultiprocessingExecutor):
             self._metrics_base[shard] = None
         for seq, kind, payload in self._replay[shard]:
             if kind == KIND_BATCH:
-                if self._encoders is not None:
-                    self._send(
-                        shard,
-                        (MSG_BATCH, self._encoders[shard].encode(payload)),
-                    )
-                else:
-                    self._send(shard, (MSG_BATCH, list(payload)))
+                self._send_batch(shard, payload)
                 self.replayed_batches += 1
             else:
-                self._send(shard, (MSG_MIGRATE_IN, payload))
+                self._send_message(shard, (MSG_MIGRATE_IN, payload))
         self._confirm(shard)
 
     def _confirm(self, shard: int) -> None:
@@ -522,12 +539,7 @@ class SupervisedExecutor(MultiprocessingExecutor):
         self._seq[shard] += 1
         self._replay[shard].append((self._seq[shard], KIND_BATCH, window))
         try:
-            if self._encoders is not None:
-                self._send(
-                    shard, (MSG_BATCH, self._encoders[shard].encode(window))
-                )
-            else:
-                self._send(shard, (MSG_BATCH, list(window)))
+            self._send_batch(shard, window)
             self._cadence(shard)
         except ShardFailure as failure:
             self._recover(shard, failure)
@@ -662,7 +674,7 @@ class SupervisedExecutor(MultiprocessingExecutor):
         self._seq[shard] += 1
         self._replay[shard].append((self._seq[shard], KIND_ADOPT, state))
         try:
-            self._send(shard, (MSG_MIGRATE_IN, state))
+            self._send_message(shard, (MSG_MIGRATE_IN, state))
             self._checkpoint(shard)
         except ShardFailure as failure:
             self._recover(shard, failure)
@@ -691,7 +703,7 @@ class SupervisedExecutor(MultiprocessingExecutor):
             raise RuntimeError("executor already finished")
         self._finished = True
         collect = self.config.collect_results
-        decode_results = self.transport == TRANSPORT_BLOCKS and collect
+        decode_results = self._encoders is not None and collect
         outcomes: List[ShardOutcome] = []
         try:
             for shard in range(self.num_shards):
@@ -705,13 +717,7 @@ class SupervisedExecutor(MultiprocessingExecutor):
                         (self._seq[shard], KIND_BATCH, pending)
                     )
                     try:
-                        if self._encoders is not None:
-                            self._send(
-                                shard,
-                                (MSG_BATCH, self._encoders[shard].encode(pending)),
-                            )
-                        else:
-                            self._send(shard, (MSG_BATCH, list(pending)))
+                        self._send_batch(shard, pending)
                     except ShardFailure as failure:
                         self._recover(shard, failure)
                 try:
@@ -760,6 +766,7 @@ class SupervisedExecutor(MultiprocessingExecutor):
                 if process.is_alive():  # pragma: no cover - defensive
                     process.terminate()
                     process.join(timeout=5)
+            self._release_rings()
         return outcomes
 
     def _synthetic_outcome(self, shard: int) -> ShardOutcome:

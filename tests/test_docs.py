@@ -60,4 +60,4 @@ def test_repository_documents_pass_the_gate(capsys):
     captured = capsys.readouterr()
     assert failing == 0, f"docs gate failed:\n{captured.err}"
     # The gate is actually exercising content, not vacuously passing.
-    assert "ARCHITECTURE.md: 3 python block(s)" in captured.out
+    assert "ARCHITECTURE.md: 4 python block(s)" in captured.out

@@ -534,6 +534,107 @@ def test_protocol_flags_raw_ping_literal_in_dispatcher():
     assert any("raw tag literal 'ping'" in f.message for f in findings)
 
 
+# Mirrors the shm-transport extension: bulky messages ride a ring behind
+# a (MSG_RING, seq) doorbell, replies come back via (MSG_RING_REPLY, seq),
+# and workers confirm consumption with (MSG_CREDIT, count).  Sends go
+# through the _send_message/_reply wrappers — which SEND_CALLEES must
+# recognize, or every doorbell-delivered tag reads as dead protocol.
+PROTOCOL_RING = '''
+MSG_BATCH = "batch"
+MSG_CREDIT = "credit"
+MSG_RING = "ring"
+MSG_RING_REPLY = "ring_reply"
+
+
+def parent(conn, ring, frame, payload):
+    seq = ring.write_frame(frame)
+    conn.send((MSG_RING, seq))
+    _send_message(conn, (MSG_BATCH, payload))
+    tag, granted = conn.recv()
+    if tag == MSG_CREDIT:
+        return granted
+    if tag != MSG_RING_REPLY:
+        raise ValueError(tag)
+    return ring.read_frame(granted)
+
+
+def _send_message(conn, message):
+    conn.send(message)
+
+
+def _reply(conn, ring, message):
+    seq = ring.write_frame(message)
+    conn.send((MSG_RING_REPLY, seq))
+
+
+def worker(conn, ring, consumed):
+    while True:
+        tag, payload = conn.recv()
+        if tag == MSG_RING:
+            tag, payload = ring.read_frame(payload)
+        if tag != MSG_BATCH:
+            raise ValueError(tag)
+        consumed += 1
+        conn.send((MSG_CREDIT, consumed))
+        _reply(conn, ring, (MSG_BATCH, payload))
+'''
+
+
+def test_protocol_ring_fixture_passes():
+    findings = analyze_sources(
+        {"proto.py": PROTOCOL_RING}, ["protocol-exhaustiveness"]
+    )
+    assert findings == []
+
+
+def test_protocol_flags_credit_sent_but_never_dispatched():
+    bad = PROTOCOL_RING.replace(
+        "    if tag == MSG_CREDIT:\n        return granted\n", ""
+    )
+    assert bad != PROTOCOL_RING
+    findings = analyze_sources({"proto.py": bad}, ["protocol-exhaustiveness"])
+    assert any(
+        "MSG_CREDIT has no dispatch arm" in f.message for f in findings
+    )
+
+
+def test_protocol_flags_ring_doorbell_without_worker_arm():
+    bad = PROTOCOL_RING.replace(
+        "        if tag == MSG_RING:\n"
+        "            tag, payload = ring.read_frame(payload)\n",
+        "",
+    )
+    assert bad != PROTOCOL_RING
+    findings = analyze_sources({"proto.py": bad}, ["protocol-exhaustiveness"])
+    assert any(
+        "MSG_RING has no dispatch arm" in f.message for f in findings
+    )
+
+
+def test_protocol_recognizes_wrapper_sends():
+    # Route MSG_RING_REPLY's only send through the _reply wrapper (drop
+    # the direct conn.send variant): still a live tag, not dead protocol.
+    bad = PROTOCOL_RING.replace(
+        "def _reply(conn, ring, message):\n"
+        "    seq = ring.write_frame(message)\n"
+        '    conn.send((MSG_RING_REPLY, seq))\n',
+        "def _reply(conn, ring, message):\n"
+        "    ring.write_frame(message)\n",
+    )
+    assert bad != PROTOCOL_RING
+    findings = analyze_sources({"proto.py": bad}, ["protocol-exhaustiveness"])
+    assert any(
+        "MSG_RING_REPLY is never sent" in f.message for f in findings
+    ), "dropping the last real send must flag the tag"
+    fixed = bad.replace(
+        "        _reply(conn, ring, (MSG_BATCH, payload))",
+        "        _reply(conn, ring, (MSG_RING_REPLY, payload))",
+    )
+    assert analyze_sources(
+        {"proto.py": fixed}, ["protocol-exhaustiveness"]
+    ) == [], "a tuple passed to the _reply wrapper is a recognized send"
+
+
 # ---------------------------------------------------------------------------
 # determinism fixtures
 # ---------------------------------------------------------------------------
@@ -676,6 +777,22 @@ def local(batch):
     return sorted(batch, key=lambda t: t.ts)
 '''
     assert analyze_sources({"i.py": source}, ["ipc-safety"]) == []
+
+
+def test_ipc_safety_covers_ring_send_wrappers():
+    # _send_message/_reply pickle their message for the shm ring — a
+    # lambda or generator smuggled through them fails exactly like one
+    # passed to conn.send, and the rule must see it.
+    source = '''
+def ship(self, conn, ring, batch):
+    self._send_message(0, (MSG_BATCH, lambda: batch))
+    _reply(conn, ring, ("ok", (t for t in batch)))
+'''
+    findings = analyze_sources({"i.py": source}, ["ipc-safety"])
+    messages = " | ".join(finding.message for finding in findings)
+    assert len(findings) == 2
+    assert "lambda" in messages
+    assert "generator expression" in messages
 
 
 # ---------------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro import (
     SupervisionConfig,
     TRANSPORT_BLOCKS,
     TRANSPORT_OBJECTS,
+    TRANSPORT_SHM,
     TieredStoreConfig,
     ZipfValueSampler,
     chaos_plan,
@@ -40,10 +41,12 @@ from repro.faults import (
     KIND_CORRUPT_CHECKPOINT,
     KIND_CRASH_AFTER_BATCH,
     KIND_CRASH_BEFORE_BATCH,
+    KIND_CRASH_MID_RING_WRITE,
     KIND_CRASH_ON_MIGRATE,
     KIND_HANG_BEFORE_BATCH,
     KIND_SIGKILL_BEFORE_BATCH,
     KIND_SLOW_RECV,
+    KIND_STALL_RECV,
 )
 
 # ---------------------------------------------------------------------------
@@ -140,7 +143,9 @@ def _crash_plan(shards):
     ))
 
 
-@pytest.mark.parametrize("transport", [TRANSPORT_BLOCKS, TRANSPORT_OBJECTS])
+@pytest.mark.parametrize(
+    "transport", [TRANSPORT_BLOCKS, TRANSPORT_OBJECTS, TRANSPORT_SHM]
+)
 @pytest.mark.parametrize("shards", [1, 2, 4])
 def test_crash_recovery_is_byte_identical(dataset, reference, shards,
                                           transport):
@@ -267,6 +272,52 @@ def test_corrupt_checkpoint_rejected_then_recovered(dataset, reference):
     executor = pipeline.executor
     assert executor.checkpoints_rejected >= 1
     assert executor.respawns >= 1
+    assert seq == ref_seq
+    assert stats == ref_stats
+
+
+# ---------------------------------------------------------------------------
+# shared-memory transport faults (ISSUE 9)
+# ---------------------------------------------------------------------------
+
+
+def test_crash_mid_ring_write_replays_byte_identical(dataset, reference):
+    """A worker dying *inside* a reply-ring write leaves a torn frame
+    with an unpublished cursor: the parent must observe only a dead
+    worker — never the torn bytes — and recovery must stay exact."""
+    ref_seq, ref_stats = reference()
+    plan = FaultPlan((FaultSpec(0, KIND_CRASH_MID_RING_WRITE, at=2),))
+    seq, stats, pipeline = _drive(
+        dataset, _lossless_config(dataset), 2,
+        executor="supervised", batch_size=16, transport=TRANSPORT_SHM,
+        supervision=SUP, fault_plan=plan,
+    )
+    assert pipeline.executor.respawns >= 1, "fault plan never fired"
+    assert seq == ref_seq
+    assert stats == ref_stats
+
+
+def test_stall_recv_is_backpressure_not_a_failure(dataset, reference):
+    """A worker freezing ring consumption long enough to exhaust a
+    one-batch credit window must stall the feed — bounded, observable
+    as elapsed time — and resume with byte-identical output and zero
+    respawns; supervision must not mistake slowness for death."""
+    ref_seq, ref_stats = reference()
+    stall_s = 0.8
+    plan = FaultPlan((FaultSpec(0, KIND_STALL_RECV, at=4, param=stall_s),))
+    started = time.perf_counter()
+    seq, stats, pipeline = _drive(
+        dataset, _lossless_config(dataset), 2,
+        executor="supervised", batch_size=16, transport=TRANSPORT_SHM,
+        credit_window=1, supervision=SUP, fault_plan=plan,
+    )
+    elapsed = time.perf_counter() - started
+    # The stalled shard stops granting credit, so the parent provably
+    # waited out the stall (lower bound) without tripping supervision
+    # or deadlocking (the run finished, upper bound enforced by the
+    # suite completing at all).
+    assert elapsed >= stall_s
+    assert pipeline.executor.respawns == 0
     assert seq == ref_seq
     assert stats == ref_stats
 
