@@ -1,0 +1,188 @@
+"""Extension — socket-distributed execution vs the in-process executors.
+
+Measures the ISSUE-10 distributed runtime on the shared count-only
+heavy-probe scenario: the same 4-shard partitioned join driven through
+
+1. **pipe x4** — the single-machine process executor (the baseline the
+   socket path must not collapse against),
+2. **socket x4 / 2 nodes** — shard workers hosted by two localhost
+   :class:`~repro.distributed.runtime.NodeServer` processes behind
+   ``transport="socket"``, and
+3. **socket x4 / 2 nodes, supervised** — the same topology under
+   heartbeat supervision and periodic checkpoints (the deployment
+   configuration: nobody runs multi-machine without recovery armed).
+
+On localhost the socket transport cannot *win* — it carries the same
+block frames as the pipe plus TCP framing, CRC and loopback syscalls —
+so the gates are collapse floors, not speedups: the socket path must
+hold ``MIN_SOCKET_VS_PIPE_FLOOR`` of the pipe rate everywhere, and
+supervision must cost no more than its usual cadence overhead on top
+(``MIN_SUPERVISED_VS_SOCKET_FLOOR``).  On a multi-core machine at full
+workload scale the floors tighten (``STRICT_*``): with real parallelism
+the transport is a small fraction of shard compute, so a large gap
+means the framing layer — not the network — is eating the win.
+Byte-identity of the socket path is proven in
+``tests/test_socket_transport.py``; this file only measures — but still
+asserts count identity across every configuration, because a transport
+that changes results has no performance story to tell.
+"""
+
+import os
+import time
+
+from common import (
+    BENCH_SCALE,
+    heavy_probe_config,
+    heavy_probe_dataset,
+    report,
+)
+
+from repro import run_partitioned
+from repro.distributed import NodeServer
+from repro.parallel import SupervisionConfig
+
+try:
+    CPUS = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-Linux
+    CPUS = os.cpu_count() or 1
+MULTICORE = CPUS >= 2
+
+CHUNK_SIZE = 1024
+ROUNDS = 2
+SHARDS = 4
+NODES = 2
+#: Collapse floor everywhere (single core, smoke scale): loopback TCP
+#: framing + CRC on every message may cost real throughput when shards
+#: time-slice one core, but losing more than half the pipe rate means
+#: the framing layer is broken, not just taxed.
+MIN_SOCKET_VS_PIPE_FLOOR = 0.5
+#: Supervision rides the same socket; heartbeats and checkpoints are
+#: periodic, so their cost must stay a modest tax, not a collapse.
+MIN_SUPERVISED_VS_SOCKET_FLOOR = 0.6
+#: Strict floors (multi-core, full workload scale): with genuine shard
+#: parallelism the transport is amortized behind compute.
+STRICT_SOCKET_VS_PIPE_FLOOR = 0.7
+STRICT_SUPERVISED_VS_SOCKET_FLOOR = 0.7
+
+SUPERVISION = SupervisionConfig(
+    heartbeat_interval=64,
+    heartbeat_timeout_s=30.0,
+    checkpoint_interval=256,
+)
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def _best_of(configurations, rounds=ROUNDS):
+    """Interleaved rounds, best wall per configuration (noise shield)."""
+    counts, best = {}, {}
+    for _ in range(rounds):
+        for label, run in configurations:
+            value, elapsed = _timed(run)
+            counts[label] = value
+            if label not in best or elapsed < best[label]:
+                best[label] = elapsed
+    return counts, best
+
+
+def _sweep():
+    dataset = heavy_probe_dataset()
+    tuples = len(dataset)
+    k_ms = dataset.max_delay()
+    config = lambda: heavy_probe_config(k_ms)  # noqa: E731 - local factory
+
+    def pipe():
+        count, _ = run_partitioned(
+            dataset, config(), SHARDS, executor="process",
+            batch_size=CHUNK_SIZE, chunk_size=CHUNK_SIZE,
+        )
+        return count
+
+    def over_sockets(addresses, supervised):
+        def run():
+            kwargs = (
+                dict(executor="supervised", supervision=SUPERVISION)
+                if supervised
+                else dict(executor="process")
+            )
+            count, _ = run_partitioned(
+                dataset, config(), SHARDS,
+                batch_size=CHUNK_SIZE, chunk_size=CHUNK_SIZE,
+                transport="socket", nodes=addresses, **kwargs,
+            )
+            return count
+
+        return run
+
+    spawned = [NodeServer.spawn() for _ in range(NODES)]
+    addresses = [address for _, address in spawned]
+    try:
+        configurations = [
+            (f"pipe x{SHARDS}", pipe),
+            (
+                f"socket x{SHARDS} / {NODES} nodes",
+                over_sockets(addresses, False),
+            ),
+            (
+                f"socket x{SHARDS} / {NODES} nodes supervised",
+                over_sockets(addresses, True),
+            ),
+        ]
+        counts, best = _best_of(configurations)
+    finally:
+        for process, _ in spawned:
+            process.terminate()
+            process.join(5)
+    rates = {label: tuples / wall for label, wall in best.items()}
+    rows = [
+        (label, counts[label], f"{best[label]:.2f}", f"{rates[label]:,.0f}")
+        for label, _ in configurations
+    ]
+    socket_ratio = (
+        rates[f"socket x{SHARDS} / {NODES} nodes"] / rates[f"pipe x{SHARDS}"]
+    )
+    supervised_ratio = (
+        rates[f"socket x{SHARDS} / {NODES} nodes supervised"]
+        / rates[f"socket x{SHARDS} / {NODES} nodes"]
+    )
+    rows.append(("socket/pipe", "", "", f"{socket_ratio:.2f}x"))
+    rows.append(("supervised/socket", "", "", f"{supervised_ratio:.2f}x"))
+    report(
+        "ext_distributed",
+        "Extension — socket-distributed executors vs the pipe baseline "
+        f"({tuples} tuples, {SHARDS} shards, {NODES} nodes, {CPUS} CPU(s))",
+        ["configuration", "results", "wall (s)", "tuples/s"],
+        rows,
+    )
+    return counts, rates
+
+
+def test_ext_distributed(benchmark):
+    counts, rates = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # The carrier may never change results.
+    assert len(set(counts.values())) == 1
+    pipe = rates[f"pipe x{SHARDS}"]
+    socket_rate = rates[f"socket x{SHARDS} / {NODES} nodes"]
+    supervised = rates[f"socket x{SHARDS} / {NODES} nodes supervised"]
+    assert socket_rate >= MIN_SOCKET_VS_PIPE_FLOOR * pipe, (
+        f"socket transport {socket_rate:,.0f} t/s collapsed vs pipe "
+        f"{pipe:,.0f} t/s ({socket_rate / pipe:.2f}x)"
+    )
+    assert supervised >= MIN_SUPERVISED_VS_SOCKET_FLOOR * socket_rate, (
+        f"supervised socket {supervised:,.0f} t/s collapsed vs plain "
+        f"socket {socket_rate:,.0f} t/s ({supervised / socket_rate:.2f}x)"
+    )
+    if MULTICORE and BENCH_SCALE >= 1.0:
+        assert socket_rate >= STRICT_SOCKET_VS_PIPE_FLOOR * pipe, (
+            f"on {CPUS} CPUs socket x{SHARDS} {socket_rate:,.0f} t/s "
+            f"< {STRICT_SOCKET_VS_PIPE_FLOOR}x pipe {pipe:,.0f} t/s"
+        )
+        assert supervised >= STRICT_SUPERVISED_VS_SOCKET_FLOOR * socket_rate, (
+            f"on {CPUS} CPUs supervision cost "
+            f"{supervised / socket_rate:.2f}x exceeds the "
+            f"{STRICT_SUPERVISED_VS_SOCKET_FLOOR}x floor"
+        )

@@ -31,8 +31,9 @@ from ..core import Finding, ModuleIndex, Rule, register
 
 #: Method/function names whose arguments cross a process boundary.
 #: ``_send_message`` / ``_reply`` pickle their message themselves (to
-#: frame it for a shared-memory ring), so their arguments face exactly
-#: the same constraints as a pipe ``send``.
+#: frame it for a shared-memory ring), and ``send_frame`` is the socket
+#: transport's framing layer, so their arguments face exactly the same
+#: constraints as a pipe ``send``.
 IPC_CALLEES = (
     "submit",
     "submit_batch",
@@ -41,6 +42,7 @@ IPC_CALLEES = (
     "send",
     "_send",
     "send_bytes",
+    "send_frame",
     "_send_message",
     "_reply",
 )

@@ -41,9 +41,18 @@ MSG_NAME = re.compile(r"^MSG_[A-Z0-9_]+$")
 
 #: Callee names whose tuple arguments count as protocol sends.  The
 #: ``_send_message`` / ``_reply`` wrappers route one already-built
-#: protocol tuple through either the pipe or a shared-memory ring, so a
-#: tag whose only sender goes through them is live, not dead, protocol.
-SEND_CALLEES = ("send", "_send", "send_bytes", "_send_message", "_reply")
+#: protocol tuple through either the pipe or a shared-memory ring, and
+#: ``send_frame`` is the socket transport's framing layer
+#: (:class:`repro.distributed.runtime.SocketConnection`) — a tag whose
+#: only sender goes through any of them is live, not dead, protocol.
+SEND_CALLEES = (
+    "send",
+    "_send",
+    "send_bytes",
+    "send_frame",
+    "_send_message",
+    "_reply",
+)
 
 
 def _defined_tags(

@@ -52,18 +52,28 @@ class PartialResult:
     the derivation (paper Sec. V instrumentation).
     """
 
-    __slots__ = ("components", "ts", "delay")
+    __slots__ = ("components", "ts", "delay", "_expiry")
 
     def __init__(self, components: Dict[int, StreamTuple], delay: int = 0) -> None:
         self.components = components
         self.ts = max(t.ts for t in components.values())
         self.delay = delay
+        self._expiry: Union[int, None] = None
 
     def expiry(self, window_sizes_ms: Sequence[int]) -> int:
-        """Latest trigger timestamp this composite can still join with."""
-        return min(
-            t.ts + window_sizes_ms[stream] for stream, t in self.components.items()
-        )
+        """Latest trigger timestamp this composite can still join with.
+
+        The components and the operator's window sizes are both fixed for
+        the composite's lifetime, so the value is computed once and cached
+        (it is consulted on every insert and every pairwise probe).
+        """
+        cached = self._expiry
+        if cached is None:
+            cached = self._expiry = min(
+                t.ts + window_sizes_ms[stream]
+                for stream, t in self.components.items()
+            )
+        return cached
 
     @staticmethod
     def of(base: StreamTuple) -> "PartialResult":
@@ -133,6 +143,7 @@ class BinaryJoinNode:
         #: composites in flight inside the synchronizer, keyed by carrier seq.
         self._carrier_map: Dict[int, PartialResult] = {}
         self._carrier_seq = 0
+        self._port_closed = [False, False]
         #: predicates fully bound once both sides are present, and not
         #: already closed within either side alone.
         self._closing_predicates = [
@@ -154,6 +165,8 @@ class BinaryJoinNode:
         carrier tuples; the carrier's ``seq`` keys the composite so it can
         be recovered on emission.
         """
+        if self._port_closed[port]:
+            raise ValueError(f"input port {port} already closed")
         carrier = StreamTuple(ts=item.ts, stream=port)
         carrier.delay = item.delay
         key = self._carrier_seq
@@ -163,14 +176,36 @@ class BinaryJoinNode:
         for emitted in self._sync.process(carrier):
             self._process(emitted.stream, self._carrier_map.pop(emitted.seq))
 
+    @property
+    def exhausted(self) -> bool:
+        """Both input ports closed: the node can produce nothing further."""
+        return self._port_closed[0] and self._port_closed[1]
+
     def flush_input(self, port: int) -> None:
-        """Signal end of input on ``port``."""
+        """Signal end of input on ``port``; idempotent.
+
+        Closing a port stops it gating the node's synchronizer, so tuples
+        buffered on the other port drain immediately instead of waiting on
+        a partner that will never arrive.  Once both ports are closed the
+        synchronizer is fully drained and the carrier map must be empty —
+        anything still in it would be a leaked composite, so it is swept
+        through processing as a defensive flush.
+        """
+        if self._port_closed[port]:
+            return
+        self._port_closed[port] = True
         for emitted in self._sync.close_stream(port):
             self._process(emitted.stream, self._carrier_map.pop(emitted.seq))
+        if self.exhausted and self._carrier_map:
+            self.flush()
 
     def flush(self) -> None:
         for emitted in self._sync.flush():
             self._process(emitted.stream, self._carrier_map.pop(emitted.seq))
+        # A closed synchronizer cannot retain carriers; any map residue
+        # after a full drain would leak composites for the node's
+        # lifetime, so the invariant is restored here unconditionally.
+        self._carrier_map.clear()
 
     # ------------------------------------------------------------------
     # Alg. 2 semantics on composites
@@ -222,8 +257,12 @@ class TreeJoinOperator:
         self.condition = condition
         self.num_streams = len(window_sizes_ms)
         self._collect = collect_results
+        #: results produced since the last drain — handed over (not
+        #: sliced) by :meth:`_drain`, so residency stays bounded by one
+        #: call's output instead of the whole stream's history.
         self._results: List[JoinResult] = []
         self._count = 0
+        self._closed = [False] * self.num_streams
         self.nodes: List[BinaryJoinNode] = []
         left_cover = frozenset({0})
         for stream in range(1, self.num_streams):
@@ -267,11 +306,45 @@ class TreeJoinOperator:
             raise ValueError(
                 f"tuple stream index {t.stream} outside [0, {self.num_streams})"
             )
+        if self._closed[t.stream]:
+            raise ValueError(f"stream {t.stream} already closed")
         before = self._count
         if t.stream == 0:
             self.nodes[0].feed(0, PartialResult.of(t))
         else:
             self.nodes[t.stream - 1].feed(1, PartialResult.of(t))
+        return self._drain(before)
+
+    def close_stream(self, stream: int) -> Union[List[JoinResult], int]:
+        """Signal end of input on one base stream (finite-run surface).
+
+        Mirrors the pipeline's per-stream ``Synchronizer.close_stream``
+        semantics at the tree level: the stream stops gating its node's
+        synchronizer, and exhaustion propagates down the left-deep chain —
+        once both of a node's ports are closed, its output can never grow
+        again, which closes the downstream node's port 0, and so on.
+        Closing every base stream is therefore equivalent to a full
+        :meth:`flush`.  Idempotent per stream; returns the results the
+        closure unlocked.
+        """
+        if not 0 <= stream < self.num_streams:
+            raise ValueError(
+                f"stream index {stream} outside [0, {self.num_streams})"
+            )
+        before = self._count
+        if self._closed[stream]:
+            return self._drain(before)
+        self._closed[stream] = True
+        if stream == 0:
+            self.nodes[0].flush_input(0)
+        else:
+            self.nodes[stream - 1].flush_input(1)
+        # Left-deep cascade: an exhausted node closes its parent's port 0.
+        for index, node in enumerate(self.nodes[:-1]):
+            if node.exhausted:
+                self.nodes[index + 1].flush_input(0)
+            else:
+                break
         return self._drain(before)
 
     def flush(self) -> Union[List[JoinResult], int]:
@@ -283,7 +356,8 @@ class TreeJoinOperator:
 
     def _drain(self, before: int) -> Union[List[JoinResult], int]:
         if self._collect:
-            new = self._results[before:]
+            new = self._results
+            self._results = []
             return new
         return self._count - before
 

@@ -14,8 +14,10 @@ from .plan import (
     KIND_CRASH_MID_RING_WRITE,
     KIND_CRASH_ON_MIGRATE,
     KIND_HANG_BEFORE_BATCH,
+    KIND_NODE_SIGKILL,
     KIND_SIGKILL_BEFORE_BATCH,
     KIND_SLOW_RECV,
+    KIND_SOCKET_DROP,
     KIND_STALL_RECV,
     FaultInjector,
     FaultPlan,
@@ -32,8 +34,10 @@ __all__ = [
     "KIND_CRASH_MID_RING_WRITE",
     "KIND_CRASH_ON_MIGRATE",
     "KIND_HANG_BEFORE_BATCH",
+    "KIND_NODE_SIGKILL",
     "KIND_SIGKILL_BEFORE_BATCH",
     "KIND_SLOW_RECV",
+    "KIND_SOCKET_DROP",
     "KIND_STALL_RECV",
     "FaultInjector",
     "FaultPlan",

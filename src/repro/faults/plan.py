@@ -42,6 +42,18 @@ Fault kinds
   never published — then ``os._exit``: a crash in the middle of a
   shared-memory write.  The parent must see a dead worker, never the
   torn bytes, and replay must stay byte-identical.
+* ``socket-drop`` — before the Nth batch, close the worker's transport
+  connection (the injector's ``connection`` attribute, armed by
+  ``shard_worker``) and then ``os._exit``: a TCP connection reset as the
+  remote side sees it.  The parent's next poll/recv/send on that socket
+  must surface a :class:`ShardFailure`, never a hang.
+* ``node-sigkill`` — before the Nth batch, SIGKILL the hosting
+  :class:`~repro.distributed.runtime.NodeServer` process (the injector's
+  ``node_pid``, set to ``os.getppid()`` by node-hosted workers), then
+  SIGKILL itself for determinism.  The node's PDEATHSIG arms take the
+  sibling workers down with it — a whole-machine loss, so recovery must
+  reconnect surviving shards to the *other* nodes.  Degrades to a plain
+  self-SIGKILL when no node pid is armed (single-process runs).
 
 Occurrence counters live in the worker process and restart from zero in
 every incarnation.  By default a spec is *one-shot across the run*: the
@@ -68,6 +80,14 @@ KIND_STALL_RECV = "stall-recv"
 KIND_CRASH_ON_MIGRATE = "crash-on-migrate"
 KIND_CORRUPT_CHECKPOINT = "corrupt-checkpoint"
 KIND_CRASH_MID_RING_WRITE = "crash-mid-ring-write"
+KIND_SOCKET_DROP = "socket-drop"
+KIND_NODE_SIGKILL = "node-sigkill"
+
+#: Process-wide fallback for :attr:`FaultInjector.node_pid`, armed by
+#: :func:`repro.distributed.runtime._node_worker` *before* the shard
+#: loop constructs its injector — the injector cannot be reached from
+#: the node accept path, so the hosting pid travels through the module.
+NODE_PID: Optional[int] = None
 
 FAULT_KINDS = (
     KIND_CRASH_BEFORE_BATCH,
@@ -79,6 +99,8 @@ FAULT_KINDS = (
     KIND_CRASH_ON_MIGRATE,
     KIND_CORRUPT_CHECKPOINT,
     KIND_CRASH_MID_RING_WRITE,
+    KIND_SOCKET_DROP,
+    KIND_NODE_SIGKILL,
 )
 
 #: ``os._exit`` status of injected crashes — distinct from Python's
@@ -174,6 +196,12 @@ class FaultInjector:
         self._migrates = 0
         self._checkpoints = 0
         self._ring_writes = 0
+        #: Armed by ``shard_worker``: the worker's transport connection,
+        #: torn down by the ``socket-drop`` fault (duck-typed ``close``).
+        self.connection: Optional[object] = None
+        #: Armed by node-hosted workers: the hosting ``NodeServer`` pid,
+        #: the ``node-sigkill`` fault's target.
+        self.node_pid: Optional[int] = None
 
     def _fire(self, kind: str, count: int) -> Optional[FaultSpec]:
         for spec in self._specs:
@@ -194,6 +222,22 @@ class FaultInjector:
             os.kill(os.getpid(), signal.SIGKILL)
         if self._fire(KIND_CRASH_BEFORE_BATCH, n) is not None:
             os._exit(CRASH_EXIT_CODE)
+        if self._fire(KIND_SOCKET_DROP, n) is not None:
+            connection = self.connection
+            if connection is not None:
+                try:
+                    connection.close()  # type: ignore[attr-defined]
+                except OSError:
+                    pass
+            os._exit(CRASH_EXIT_CODE)
+        if self._fire(KIND_NODE_SIGKILL, n) is not None:
+            target = self.node_pid if self.node_pid is not None else NODE_PID
+            if target is not None:
+                os.kill(target, signal.SIGKILL)
+            # Die too (PDEATHSIG would deliver this anyway when the node
+            # goes first; doing it explicitly keeps the schedule exact
+            # and covers the degraded single-process case).
+            os.kill(os.getpid(), signal.SIGKILL)
         hang = self._fire(KIND_HANG_BEFORE_BATCH, n)
         if hang is not None:
             time.sleep(hang.param if hang.param is not None else DEFAULT_HANG_S)

@@ -39,6 +39,7 @@ from .shard import (
     TRANSPORT_BLOCKS,
     TRANSPORT_OBJECTS,
     TRANSPORT_SHM,
+    TRANSPORT_SOCKET,
     TRANSPORTS,
     FailoverState,
     ShardFailure,
@@ -82,6 +83,7 @@ __all__ = [
     "TRANSPORT_BLOCKS",
     "TRANSPORT_OBJECTS",
     "TRANSPORT_SHM",
+    "TRANSPORT_SOCKET",
     "TRANSPORTS",
     "load_imbalance",
     "run_partitioned",

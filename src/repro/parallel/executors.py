@@ -37,7 +37,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.blocks import PICKLE_PROTOCOL, BlockDecoder, BlockEncoder, StateBlock
 from ..core.pipeline import PipelineConfig, QualityDrivenPipeline
@@ -101,6 +101,37 @@ class ShardExecutor(ABC):
         #: from; these are the coarse cross-check and broadcast-mode
         #: fallback, where no routing counters exist).
         self.submitted: List[int] = [0] * num_shards
+        #: Shards retired mid-stream by :meth:`retire_shard`, mapped to
+        #: the outcome captured at retirement.  ``finish`` folds these
+        #: back in at their shard index; no message ever targets a
+        #: retired shard again (the router stopped pointing slots at it
+        #: before retirement).
+        self._retired: Dict[int, ShardOutcome] = {}
+
+    def add_shard(self) -> int:
+        """Grow the shard pool by one mid-stream; return the new shard id.
+
+        Elastic-resize hook: executors that support node join extend
+        their per-shard bookkeeping and start a fresh worker.  The new
+        shard owns no slots until the caller migrates state to it and
+        repoints the router — adding a worker is pure lifecycle until
+        then.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} does not support elastic resize"
+        )
+
+    def retire_shard(self, shard: int) -> None:
+        """Flush ``shard`` early and drop it from the pool (node leave).
+
+        The caller must have migrated every slot the shard owned to
+        survivors first; retirement then flushes the (state-empty)
+        pipeline, stashes its outcome for :meth:`finish`, and releases
+        the worker.
+        """
+        raise RuntimeError(
+            f"{type(self).__name__} does not support elastic resize"
+        )
 
     @abstractmethod
     def submit(self, shard: int, t: StreamTuple) -> Outputs:
@@ -184,9 +215,29 @@ class SerialExecutor(ShardExecutor):
     def adopt(self, shard: int, state: StateBlock) -> Outputs:
         return adopt_shard_state(self.pipelines[shard], state, decode=False)
 
+    def add_shard(self) -> int:
+        shard = self.num_shards
+        self.num_shards += 1
+        self.submitted.append(0)
+        self.pipelines.append(QualityDrivenPipeline(self.config))
+        return shard
+
+    def retire_shard(self, shard: int) -> None:
+        if shard in self._retired:
+            raise RuntimeError(f"shard {shard} already retired")
+        pipeline = self.pipelines[shard]
+        self._retired[shard] = ShardOutcome(
+            shard,
+            pipeline.flush(),
+            pipeline.metrics,
+            pipeline.join.stats.as_dict(),
+        )
+
     def finish(self) -> List[ShardOutcome]:
         return [
-            ShardOutcome(
+            self._retired[shard]
+            if shard in self._retired
+            else ShardOutcome(
                 shard,
                 pipeline.flush(),
                 pipeline.metrics,
@@ -458,6 +509,57 @@ class MultiprocessingExecutor(ShardExecutor):
         self._send_message(shard, (MSG_MIGRATE_IN, state))
         return empty_outputs(self.config.collect_results)
 
+    def add_shard(self) -> int:
+        """Elastic grow: extend the per-shard bookkeeping, spawn a worker.
+
+        The new shard starts with an empty pipeline and owns no routing
+        slots; the pipeline layer migrates state to it and repoints the
+        router afterwards, so grow-then-migrate is byte-identical to
+        having started with the larger pool.
+        """
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        shard = self.num_shards
+        self.num_shards += 1
+        self.submitted.append(0)
+        self._batches.append([])
+        self._dispatched.append(0)
+        self._credited.append(0)
+        if self._encoders is not None:
+            self._encoders.append(BlockEncoder())
+        self._spawn_worker(shard)
+        return shard
+
+    def retire_shard(self, shard: int) -> None:
+        """Elastic shrink: flush the (already slot-less) shard and stash
+        its outcome for :meth:`finish`; release its worker and rings."""
+        if self._finished:
+            raise RuntimeError("executor already finished")
+        if shard in self._retired:
+            raise RuntimeError(f"shard {shard} already retired")
+        self._flush_pending(shard)
+        self._send(shard, (MSG_FLUSH, None))
+        tag, payload = self._await_reply(shard)
+        if tag != "ok":
+            raise ShardFailure(shard, str(payload), recoverable=False)
+        if self._encoders is not None and self.config.collect_results:
+            payload.outputs = BlockDecoder().decode_results(payload.outputs)
+        self._retired[shard] = payload
+        self._connections[shard].close()
+        process = self._processes[shard]
+        process.join(timeout=30)
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=5)
+        if self._rings and self._rings[shard] is not None:
+            reply_ring = self._reply_rings[shard]
+            for ring in (self._rings[shard], reply_ring):
+                if ring is not None:
+                    ring.close()
+                    ring.unlink()
+            self._rings[shard] = None
+            self._reply_rings[shard] = None
+
     def _send(self, shard: int, message) -> None:
         # Serialize exactly once (protocol 5) and ship raw bytes.  A
         # broken pipe means the worker is gone: surface it as a typed
@@ -686,12 +788,19 @@ class MultiprocessingExecutor(ShardExecutor):
         outcomes: List[ShardOutcome] = []
         try:
             for shard in range(self.num_shards):
+                if shard in self._retired:
+                    continue
                 if self._batches[shard]:
                     pending = self._batches[shard]
                     self._dispatch(shard, pending, 0, len(pending))
                     self._batches[shard] = []
                 self._send(shard, (MSG_FLUSH, None))
             for shard in range(self.num_shards):
+                if shard in self._retired:
+                    # Flushed (and decoded) at retirement; fold the
+                    # stashed outcome in at its shard index.
+                    outcomes.append(self._retired[shard])
+                    continue
                 tag, payload = self._await_reply(shard)
                 if tag != "ok":
                     raise ShardFailure(
@@ -736,6 +845,8 @@ class MultiprocessingExecutor(ShardExecutor):
         self._finished = True
         if not already_finished:
             for shard in range(len(self._connections)):
+                if shard in self._retired:
+                    continue  # worker already flushed and joined
                 try:
                     self._send(shard, (MSG_ABORT, None))
                 except ShardFailure:

@@ -72,6 +72,7 @@ from .rebalancer import (
 from .router import DEFAULT_SLOTS_PER_SHARD, KeyRouter
 from .shard import (
     TRANSPORT_BLOCKS,
+    TRANSPORT_SOCKET,
     Outputs,
     ShardFailure,
     ShardOutcome,
@@ -164,6 +165,17 @@ class PartitionedPipeline:
         Deterministic fault-injection schedule
         (:class:`~repro.faults.FaultPlan`) armed inside the
         ``"supervised"`` executor's workers — testing/chaos only.
+    nodes:
+        ``transport="socket"`` only: the ``(host, port)`` addresses of
+        the :class:`~repro.distributed.runtime.NodeServer` processes that
+        host the shard workers.  Shards are dealt round-robin across the
+        nodes; the ``"process"`` executor becomes a
+        :class:`~repro.distributed.runtime.SocketExecutor` and
+        ``"supervised"`` a
+        :class:`~repro.distributed.runtime.SupervisedSocketExecutor`
+        (same protocol, heartbeats and checkpoint/replay included, with
+        respawns reconnecting — failing over to surviving nodes when a
+        whole node is gone).
     """
 
     def __init__(
@@ -181,6 +193,7 @@ class PartitionedPipeline:
         fault_plan: Optional[FaultPlan] = None,
         credit_window: Optional[int] = None,
         ring_bytes: int = DEFAULT_RING_BYTES,
+        nodes: Optional[Sequence] = None,
     ) -> None:
         self.config = config
         self.num_shards = num_shards
@@ -211,28 +224,70 @@ class PartitionedPipeline:
             )
         else:
             self._rebalancer = None
+        if transport == TRANSPORT_SOCKET:
+            if executor not in ("process", "supervised"):
+                raise ValueError(
+                    "transport='socket' requires the 'process' or "
+                    f"'supervised' executor, got {executor!r}"
+                )
+            if not nodes:
+                raise ValueError(
+                    "transport='socket' requires `nodes`: the (host, port) "
+                    "addresses of the NodeServer processes hosting the shards"
+                )
+        elif nodes is not None:
+            raise ValueError(
+                "`nodes` is only meaningful with transport='socket'"
+            )
         if executor == "serial":
             self.executor: ShardExecutor = SerialExecutor(config, num_shards)
         elif executor == "process":
-            self.executor = MultiprocessingExecutor(
-                config,
-                num_shards,
-                batch_size=batch_size,
-                transport=transport,
-                credit_window=credit_window,
-                ring_bytes=ring_bytes,
-            )
+            if transport == TRANSPORT_SOCKET:
+                # Deferred import: the distributed runtime builds on the
+                # parallel executors, so a module-level import here would
+                # be circular.
+                from ..distributed.runtime import SocketExecutor
+
+                self.executor = SocketExecutor(
+                    config,
+                    num_shards,
+                    nodes=nodes,
+                    batch_size=batch_size,
+                    credit_window=credit_window,
+                )
+            else:
+                self.executor = MultiprocessingExecutor(
+                    config,
+                    num_shards,
+                    batch_size=batch_size,
+                    transport=transport,
+                    credit_window=credit_window,
+                    ring_bytes=ring_bytes,
+                )
         elif executor == "supervised":
-            self.executor = SupervisedExecutor(
-                config,
-                num_shards,
-                batch_size=batch_size,
-                transport=transport,
-                supervision=supervision,
-                fault_plan=fault_plan,
-                credit_window=credit_window,
-                ring_bytes=ring_bytes,
-            )
+            if transport == TRANSPORT_SOCKET:
+                from ..distributed.runtime import SupervisedSocketExecutor
+
+                self.executor = SupervisedSocketExecutor(
+                    config,
+                    num_shards,
+                    nodes=nodes,
+                    batch_size=batch_size,
+                    supervision=supervision,
+                    fault_plan=fault_plan,
+                    credit_window=credit_window,
+                )
+            else:
+                self.executor = SupervisedExecutor(
+                    config,
+                    num_shards,
+                    batch_size=batch_size,
+                    transport=transport,
+                    supervision=supervision,
+                    fault_plan=fault_plan,
+                    credit_window=credit_window,
+                    ring_bytes=ring_bytes,
+                )
         elif callable(executor):
             self.executor = executor(config, num_shards)
         else:
@@ -265,6 +320,11 @@ class PartitionedPipeline:
         self.rebalances = 0
         #: Total slots whose shard changed across all rebalances.
         self.slots_moved = 0
+        #: Elastic resizes applied (:meth:`grow` + :meth:`shrink` calls).
+        self.resizes = 0
+        #: Shards retired by :meth:`shrink` (their outcomes were captured
+        #: at retirement; they own no slots and receive no traffic).
+        self._retired_shards: set = set()
         #: Shards permanently failed over to survivors (supervised
         #: executor only: respawn-budget exhaustion demotes the shard and
         #: its slots migrate to the survivors).
@@ -424,11 +484,24 @@ class PartitionedPipeline:
         are returned like any :meth:`process` output.
         """
         self._routed_since_check = 0
-        collect = self.config.collect_results
-        outputs = empty_outputs(collect)
         moves = self._rebalancer.plan()
         if not moves:
-            return outputs
+            return empty_outputs(self.config.collect_results)
+        outputs = self._execute_migration(moves)
+        self.rebalances += 1
+        self.slots_moved += len(moves)
+        return outputs
+
+    def _execute_migration(self, moves: Dict[int, int]) -> Outputs:
+        """Run the drain/handoff barrier for a slot-move plan.
+
+        Shared by rebalancing and the elastic :meth:`grow` / :meth:`shrink`
+        paths: group moves by current owner, drain + extract each source
+        to the router's watermark beacon, adopt every state block at its
+        destination, and only then flip the slot table.
+        """
+        collect = self.config.collect_results
+        outputs = empty_outputs(collect)
         router = self.router
         by_source: Dict[int, Dict[int, int]] = {}
         for slot, dest in moves.items():
@@ -449,7 +522,83 @@ class PartitionedPipeline:
             adopted = self.executor.adopt(state.dest, state)
             outputs = merge_outputs(collect, outputs, adopted)
         router.reassign(moves)
-        self.rebalances += 1
+        return outputs
+
+    # ------------------------------------------------------------------
+    # elastic resize (node join / leave)
+    # ------------------------------------------------------------------
+
+    def grow(self, count: int = 1) -> Outputs:
+        """Admit ``count`` new shards mid-stream (elastic node join).
+
+        Lifecycle: the executor spawns the new workers first
+        (:meth:`~repro.parallel.executors.ShardExecutor.add_shard`), the
+        router computes a deterministic even-split move plan over its
+        *fixed* slot space (:meth:`~repro.parallel.router.KeyRouter.grow`),
+        and the ordinary drain/handoff barrier migrates the moved slots'
+        state before the table flips — so under lossless disorder
+        handling the merged output sequence and summed join statistics
+        are byte-identical to having started with the larger pool.
+        Requires exact routing (broadcast has no slots to hand over).
+        Returns whatever results the barrier made available immediately.
+        """
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        if not self.router.exact:
+            raise ValueError(
+                "elastic grow requires an exactly partitionable condition"
+            )
+        for _ in range(count):
+            self.executor.add_shard()
+        moves = self.router.grow(count)
+        self.num_shards = self.router.num_shards
+        self._emit_shards = frozenset(range(self.num_shards))
+        outputs = self._execute_migration(moves)
+        self.resizes += 1
+        self.slots_moved += len(moves)
+        return outputs
+
+    def shrink(self, shard: int) -> Outputs:
+        """Retire ``shard`` mid-stream (elastic node leave).
+
+        Its slots are dealt round-robin to the surviving shards and
+        their state handed over through the same drain/handoff barrier a
+        rebalance uses; once the shard owns nothing it is flushed early
+        and its outcome stashed for :meth:`flush`.  Shard ids are
+        positional, so the pool keeps its indices — the retired shard
+        simply never receives traffic again.
+        """
+        if self._flushed:
+            raise RuntimeError("pipeline already flushed; create a new instance")
+        if not self.router.exact:
+            raise ValueError(
+                "elastic shrink requires an exactly partitionable condition"
+            )
+        if shard in self._retired_shards or shard in self._dead_shards:
+            raise ValueError(f"shard {shard} is already retired or dead")
+        survivors = [
+            s
+            for s in range(self.num_shards)
+            if s != shard
+            and s not in self._retired_shards
+            and s not in self._dead_shards
+        ]
+        if not survivors:
+            raise ValueError("cannot retire the last live shard")
+        owned = [
+            slot
+            for slot, owner in enumerate(self.router.slot_table)
+            if owner == shard
+        ]
+        moves = {
+            slot: survivors[i % len(survivors)] for i, slot in enumerate(owned)
+        }
+        outputs = self._execute_migration(moves) if moves else empty_outputs(
+            self.config.collect_results
+        )
+        self.executor.retire_shard(shard)
+        self._retired_shards.add(shard)
+        self.resizes += 1
         self.slots_moved += len(moves)
         return outputs
 
@@ -484,7 +633,9 @@ class PartitionedPipeline:
         survivors = [
             s
             for s in range(self.num_shards)
-            if s != failure.shard and s not in self._dead_shards
+            if s != failure.shard
+            and s not in self._dead_shards
+            and s not in self._retired_shards
         ]
         if not survivors:
             raise failure
@@ -622,6 +773,7 @@ def run_partitioned(
     ring_bytes: int = DEFAULT_RING_BYTES,
     pipelined: bool = False,
     max_pending_batches: Optional[int] = None,
+    nodes: Optional[Sequence] = None,
 ) -> tuple:
     """Replay a finite dataset through a :class:`PartitionedPipeline`.
 
@@ -639,7 +791,8 @@ def run_partitioned(
     ``rebalance_threshold`` enable and tune skew-aware slot rebalancing;
     ``supervision`` / ``fault_plan`` configure the ``"supervised"``
     executor's fault tolerance; ``credit_window`` / ``ring_bytes``
-    tune backpressure and the shared-memory transport (see
+    tune backpressure and the shared-memory transport; ``nodes`` names
+    the ``NodeServer`` addresses backing ``transport="socket"`` (see
     :class:`PartitionedPipeline` for all of them).
 
     ``pipelined=True`` feeds through a
@@ -667,6 +820,7 @@ def run_partitioned(
         fault_plan=fault_plan,
         credit_window=credit_window,
         ring_bytes=ring_bytes,
+        nodes=nodes,
     ) as pipeline:
         collect = config.collect_results
         outputs = empty_outputs(collect)

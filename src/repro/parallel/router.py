@@ -180,6 +180,53 @@ class KeyRouter:
             return None
         return self.slot_table[self.slot_of(t)]
 
+    def grow(self, count: int = 1) -> Dict[int, int]:
+        """Admit ``count`` new shards; return the rebalancing moves.
+
+        The slot count is *fixed* at construction — growing adds shards,
+        not slots, so every existing key keeps its slot and only slot →
+        shard entries change.  The returned moves rebalance ownership to
+        an even split (each shard ends within one slot of
+        ``num_slots / new_total``), taking the minimum number of slots
+        from over-quota shards in slot order — deterministic, so two
+        runs that grow at the same point migrate identically.
+
+        Like :class:`~repro.parallel.rebalancer.Rebalancer` plans, the
+        moves are **not** applied here: the caller must migrate the
+        moved slots' state first and then :meth:`reassign`.  Requires
+        :attr:`exact` routing (a broadcast condition has no slots to
+        hand over, so every worker already holds full state and growing
+        cannot partition it).
+        """
+        if count < 1:
+            raise ValueError(f"grow count must be >= 1, got {count}")
+        if self.attributes is None:
+            raise ValueError(
+                "condition has no partition key; broadcast routing cannot grow"
+            )
+        new_total = self.num_shards + count
+        old_shards = self.num_shards
+        self.num_shards = new_total
+        self._all_shards = tuple(range(new_total))
+        self.shard_loads.extend([0] * count)
+        quota, extra = divmod(self.num_slots, new_total)
+        target = [quota + (1 if s < extra else 0) for s in range(new_total)]
+        owned = [0] * new_total
+        overflow: List[int] = []
+        for slot, shard in enumerate(self.slot_table):
+            if owned[shard] < target[shard]:
+                owned[shard] += 1
+            else:
+                overflow.append(slot)
+        moves: Dict[int, int] = {}
+        dest = old_shards  # fill the new shards first
+        for slot in overflow:
+            while owned[dest] >= target[dest]:
+                dest = (dest + 1) % new_total
+            moves[slot] = dest
+            owned[dest] += 1
+        return moves
+
     def reassign(self, moves: Dict[int, int]) -> None:
         """Apply a rebalancing plan: rewrite ``slot → shard`` entries.
 

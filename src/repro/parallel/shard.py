@@ -228,20 +228,27 @@ TRANSPORT_OBJECTS = "objects"
 #: preserving ordering (and the supervisor's epoch/seq accounting).
 #: Messages too large for the ring fall back to the pipe transparently.
 TRANSPORT_SHM = "shm"
+#: Columnar blocks over a TCP socket: the same pickled ``(tag, payload)``
+#: protocol messages, carried in length-prefixed CRC-tagged frames by
+#: :class:`~repro.distributed.runtime.SocketConnection` so a shard worker
+#: can live in a :class:`~repro.distributed.runtime.NodeServer` process
+#: on another machine.  ``shard_worker`` runs unchanged — the connection
+#: object satisfies the ``Connection`` send/recv surface.
+TRANSPORT_SOCKET = "socket"
 
-TRANSPORTS = (TRANSPORT_BLOCKS, TRANSPORT_OBJECTS, TRANSPORT_SHM)
+TRANSPORTS = (TRANSPORT_BLOCKS, TRANSPORT_OBJECTS, TRANSPORT_SHM, TRANSPORT_SOCKET)
 
 
 def transport_encodes_blocks(transport: Optional[str]) -> bool:
     """Whether a transport ships columnar blocks (vs. object graphs).
 
-    The shm transport reuses the block codec wholesale — same
+    The shm and socket transports reuse the block codec wholesale — same
     ``TupleBlock``/``ResultBlock``/``StateBlock`` frames, different
     carrier — so every "should I encode/decode?" decision in the
     executors keys off this predicate instead of a ``== TRANSPORT_BLOCKS``
     comparison.
     """
-    return transport in (TRANSPORT_BLOCKS, TRANSPORT_SHM)
+    return transport in (TRANSPORT_BLOCKS, TRANSPORT_SHM, TRANSPORT_SOCKET)
 
 
 def slot_classifier(spec: MigrationSpec) -> Callable[[StreamTuple], Optional[int]]:
@@ -505,6 +512,10 @@ def shard_worker(
         )
         armed = faults.for_shard(shard) if faults is not None else ()
         injector: Optional[FaultInjector] = FaultInjector(armed) if armed else None
+        if injector is not None:
+            # The socket-drop fault tears down the transport from inside
+            # the worker; hand the injector the live connection so it can.
+            injector.connection = conn
         outputs: Outputs = empty_outputs(collect)
         consumed = 0
         while True:

@@ -319,6 +319,32 @@ class SupervisedExecutor(MultiprocessingExecutor):
     # worker lifecycle
     # ------------------------------------------------------------------
 
+    def add_shard(self) -> int:
+        """Elastic grow under supervision: extend the per-shard
+        supervision state first so the spawned worker's ``_worker_args``
+        (which consults ``_epoch``) sees it."""
+        self._epoch.append(0)
+        self._seq.append(0)
+        self._since_ping.append(0)
+        self._since_ckpt.append(0)
+        self._respawns.append(0)
+        self._replay.append([])
+        self._checkpoints.append(None)
+        self._deltas.append(empty_outputs(self.config.collect_results))
+        self._stats_base.append({})
+        self._metrics_base.append(None)
+        self._dead_records.append(None)
+        return super().add_shard()
+
+    def retire_shard(self, shard: int) -> None:
+        """Voluntary shrink is unsupported under supervision (stitching a
+        mid-run retirement into the delta/replay accounting is not
+        implemented); involuntary departure is what failover handles."""
+        raise RuntimeError(
+            "supervised executors do not support retire_shard; "
+            "use failover for involuntary node departure"
+        )
+
     def _fault_plan_for(self, shard: int):
         plan = self._fault_plan
         if plan is not None and self._epoch[shard] > 0:

@@ -65,8 +65,10 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.adaptation import FixedKPolicy
+from ..core.kslack import KSlackBuffer
 from ..core.pipeline import PipelineConfig
 from ..core.tuples import JoinResult, StreamTuple
+from ..distributed.tree import TreeJoinOperator
 from ..faults import chaos_plan
 from ..join.store import StoreSpec, TieredStore, TieredStoreConfig
 from ..parallel.executors import SerialExecutor
@@ -121,6 +123,12 @@ class VariantSpec:
     #: hangs and checkpoint corruption injected mid-run, which the
     #: identity oracle must not be able to tell apart from a clean run.
     chaos: bool = False
+    #: Tree twin: execute through the paper Sec. V tree of binary joins
+    #: (:class:`~repro.distributed.tree.TreeJoinOperator`) instead of
+    #: the MSWJ pipeline — the identity oracle then differentially
+    #: proves the tree decomposition result-identical to the m-way
+    #: operator over the workload's disorder and burst phases.
+    tree: bool = False
 
 
 @dataclass
@@ -153,6 +161,10 @@ class SoakConfig:
     #: count running under the seeded fault plan
     #: (:func:`~repro.faults.chaos_plan`), and the recovery check arms.
     chaos: bool = False
+    #: Tree mode: the bank gains a tree-of-binary-joins twin
+    #: (paper Sec. V), held to the same subset/recall checks and to
+    #: byte-identity with every MSWJ variant by the identity oracle.
+    tree: bool = False
     #: IPC dispatch window of the chaos variant — deliberately small so
     #: the plan's batch-indexed faults fire within smoke-scale runs.
     chaos_batch_size: int = 32
@@ -231,6 +243,12 @@ class SoakConfig:
                     chaos=True,
                 )
             )
+        if self.tree:
+            # The tree twin is an independent *execution model*, not an
+            # executor: the identity oracle differentially proves the
+            # paper's Sec. V tree decomposition result-identical to the
+            # m-way operator under the same disorder/burst phases.
+            specs.append(VariantSpec("tree-differential", 1, tree=True))
         return specs
 
 
@@ -339,6 +357,72 @@ class PipelineDriver:
 
     def close(self) -> None:
         self.pipeline.close()
+
+
+class TreeDriver:
+    """Tree-twin driver: the Sec. V tree of binary joins as a variant.
+
+    Same driver surface as :class:`PipelineDriver` over a
+    :class:`~repro.distributed.tree.TreeJoinOperator`.  Mirroring the
+    paper's architecture — disorder handling sits in front of each
+    operator — the driver runs the same per-stream
+    :class:`~repro.core.kslack.KSlackBuffer` frontend as the MSWJ
+    variants (fixed lossless K), so the tree sees per-stream-ordered
+    input and its per-node Alg. 2 always takes the in-order path.  The
+    state/hot-tier probes report "not introspectable" and the memory
+    checks skip it; subset, recall and — decisively — byte-identity
+    against every MSWJ variant apply in full.
+    """
+
+    def __init__(self, spec: VariantSpec, config: PipelineConfig,
+                 soak: SoakConfig) -> None:
+        self.spec = spec
+        self.tree = TreeJoinOperator(
+            config.window_sizes_ms, config.condition, collect_results=True
+        )
+        self.kslacks = [
+            KSlackBuffer(config.initial_k_ms)
+            for _ in range(len(config.window_sizes_ms))
+        ]
+        self._flushed = False
+
+    def feed(self, batch: Sequence[StreamTuple]) -> List[JoinResult]:
+        out: List[JoinResult] = []
+        for t in batch:
+            for released in self.kslacks[t.stream].process(t):
+                out.extend(self.tree.process(released))
+        return out
+
+    def flush(self) -> List[JoinResult]:
+        self._flushed = True
+        out: List[JoinResult] = []
+        for kslack in self.kslacks:
+            for released in kslack.flush():
+                out.extend(self.tree.process(released))
+        out.extend(self.tree.flush())
+        return out
+
+    def state_sizes(self) -> None:
+        return None
+
+    def hot_sizes(self) -> None:
+        return None
+
+    def recovery_stats(self) -> None:
+        return None
+
+    def close(self) -> None:
+        if not self._flushed:
+            self.flush()
+
+
+def default_driver(spec: VariantSpec, config: PipelineConfig,
+                   soak: SoakConfig):
+    """The stock factory: tree twins get a :class:`TreeDriver`,
+    everything else a :class:`PipelineDriver`."""
+    if spec.tree:
+        return TreeDriver(spec, config, soak)
+    return PipelineDriver(spec, config, soak)
 
 
 #: Builds one driver per variant; tests swap this for broken stubs.
@@ -481,7 +565,7 @@ class SoakHarness:
     ) -> None:
         self.config = config
         self.workload = workload if workload is not None else config.workload()
-        self.driver_factory = driver_factory or PipelineDriver
+        self.driver_factory = driver_factory or default_driver
 
     # ------------------------------------------------------------------
     # setup helpers

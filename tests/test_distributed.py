@@ -123,6 +123,95 @@ class TestTreeEquivalence:
         assert result_key_set(tree_results) == result_key_set(mjoin_results)
 
 
+class TestTreeLifecycle:
+    """Regression tests for the end-of-stream surface (ISSUE 10 bugfixes)."""
+
+    CONDITION = JoinCondition([EquiPredicate(0, "v", 1, "v")])
+
+    def test_close_stream_releases_gated_partner(self):
+        # A lone stream-0 tuple sits gated in node 0's synchronizer until
+        # stream 1 produces or ends; closing stream 1 must release it
+        # (and produce nothing, as no partner exists).
+        tree = TreeJoinOperator([1_000, 1_000], self.CONDITION)
+        tree.process(_t(0, 100, v=1))
+        assert tree.nodes[0]._sync.buffered == 1
+        released = tree.close_stream(1)
+        assert released == []
+        assert tree.nodes[0]._sync.buffered == 0
+
+    def test_close_all_streams_equals_flush(self):
+        ds = _random_dataset(3, 60, seed=11)
+        windows = [120, 100, 140]
+        condition = equi_join_chain("v", 3)
+        flushed = _run_tree(ds, windows, condition)
+
+        closed_tree = TreeJoinOperator(windows, condition)
+        produced = []
+        for t in ds.sorted_by_timestamp():
+            produced.extend(closed_tree.process(t))
+        for stream in range(3):
+            produced.extend(closed_tree.close_stream(stream))
+        assert result_key_set(produced) == result_key_set(flushed)
+        assert len(produced) == len(flushed)
+        # The closure cascaded down the left-deep chain: every node is
+        # exhausted and holds no leaked carriers.
+        for node in closed_tree.nodes:
+            assert node.exhausted
+            assert node._carrier_map == {}
+
+    def test_close_matches_pipeline_close_semantics(self):
+        # Differential against MSWJOperator: per-stream closure releases
+        # gated tuples but never invents results the m-way join would not
+        # produce — the final set equals the reference regardless of the
+        # order streams end in.
+        ds = _random_dataset(3, 50, seed=12)
+        windows = [110, 110, 110]
+        condition = equi_join_chain("v", 3)
+        expected = reference_join(ds, windows, condition)
+        for order in ([0, 1, 2], [2, 1, 0], [1, 0, 2]):
+            tree = TreeJoinOperator(windows, condition)
+            produced = []
+            for t in ds.sorted_by_timestamp():
+                produced.extend(tree.process(t))
+            for stream in order:
+                produced.extend(tree.close_stream(stream))
+            assert result_key_set(produced) == result_key_set(expected)
+
+    def test_close_stream_is_idempotent_and_rejects_feed(self):
+        tree = TreeJoinOperator([1_000, 1_000], self.CONDITION)
+        tree.process(_t(0, 100, v=1))
+        tree.close_stream(0)
+        assert tree.close_stream(0) == []
+        with pytest.raises(ValueError):
+            tree.process(_t(0, 200, v=1, seq=1))
+        with pytest.raises(ValueError):
+            tree.close_stream(9)
+
+    def test_result_buffer_trimmed_on_drain(self):
+        # Soak-style bounded-residency check: in collect mode the drained
+        # prefix must leave the operator, not accumulate for the stream's
+        # lifetime (pre-fix `_drain` sliced but never trimmed).
+        tree = TreeJoinOperator([50, 50], self.CONDITION)
+        total = 0
+        for i in range(300):
+            total += len(tree.process(_t(0, i * 10, seq=i, v=1)))
+            total += len(tree.process(_t(1, i * 10 + 1, seq=i, v=1)))
+            assert len(tree._results) == 0, "drained results left resident"
+        total += len(tree.flush())
+        assert total == tree.results_produced > 0
+
+    def test_expiry_cached_after_first_call(self):
+        p = PartialResult({0: _t(0, 10), 1: _t(1, 30)})
+        windows = [100, 50]
+        assert p._expiry is None
+        assert p.expiry(windows) == 80
+        assert p._expiry == 80
+        # Mutating the windows afterwards must not change the cached value
+        # (window sizes are fixed per operator for a composite's lifetime).
+        windows[1] = 9_999
+        assert p.expiry(windows) == 80
+
+
 class TestTreeDisorderBehaviour:
     def test_out_of_order_base_tuple_insert_only(self):
         windows = [1_000, 1_000]

@@ -430,6 +430,55 @@ def test_protocol_reply_literals_outside_dispatch_are_clean():
     assert findings == []
 
 
+SOCKET_PROTOCOL_CLEAN = '''
+MSG_JOIN = "join"
+MSG_CLOSE = "close"
+
+
+def dial(conn, spec, port):
+    conn.send((MSG_JOIN, spec))
+    conn.send_frame((MSG_CLOSE, port))
+
+
+def node(conn):
+    while True:
+        tag, payload = conn.recv()
+        if tag != MSG_JOIN:
+            raise ValueError(tag)
+        if tag == MSG_CLOSE:
+            break
+'''
+
+
+def test_protocol_socket_handshake_tags_are_covered():
+    # The socket runtime's MSG_JOIN/MSG_CLOSE extensions follow the same
+    # contract as the pipe tags: defined, sent, dispatched.
+    findings = analyze_sources(
+        {"sock.py": SOCKET_PROTOCOL_CLEAN}, ["protocol-exhaustiveness"]
+    )
+    assert findings == []
+
+
+def test_protocol_counts_send_frame_as_a_sender():
+    # send_frame is the SocketConnection framing layer; a tag whose only
+    # sender goes through it must register as sent, not dead protocol.
+    source = '''
+MSG_CLOSE = "close"
+
+
+def dial(conn, port):
+    conn.send_frame((MSG_CLOSE, port))
+
+
+def node(tag):
+    return tag == MSG_CLOSE
+'''
+    findings = analyze_sources(
+        {"sock.py": source}, ["protocol-exhaustiveness"]
+    )
+    assert not any("never sent" in f.message for f in findings)
+
+
 def test_protocol_inert_without_msg_constants():
     source = "def f(conn):\n    conn.send(('anything', 1))\n"
     assert analyze_sources({"p.py": source}, ["protocol-exhaustiveness"]) == []
@@ -793,6 +842,20 @@ def ship(self, conn, ring, batch):
     assert len(findings) == 2
     assert "lambda" in messages
     assert "generator expression" in messages
+
+
+def test_ipc_safety_covers_socket_send_frame():
+    # The socket transport's framing layer pickles its message exactly
+    # like a pipe send — an unpicklable argument fails on the wire the
+    # same way, and the rule must see it through send_frame too.
+    source = '''
+def ship(conn, batch):
+    conn.send_frame((MSG_BATCH, lambda: batch))
+'''
+    findings = analyze_sources({"i.py": source}, ["ipc-safety"])
+    assert len(findings) == 1
+    assert "lambda" in findings[0].message
+    assert "send_frame" in findings[0].message
 
 
 # ---------------------------------------------------------------------------

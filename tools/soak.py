@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
              "corruption) and arm the recovery check; forces the "
              "process bank only (worker faults need worker processes)",
     )
+    parser.add_argument(
+        "--tree", action="store_true",
+        help="add a tree-of-binary-joins twin (paper Sec. V) to the "
+             "bank; the identity oracle then differentially proves the "
+             "tree decomposition result-identical to the m-way operator",
+    )
     parser.add_argument("--out", default="soak_report",
                         help="report name under results/ (default: soak_report)")
     return parser
@@ -182,6 +188,7 @@ def main(argv=None) -> int:
             bid_channels=args.bid_channels,
             store=store,
             chaos=args.chaos,
+            tree=args.tree,
         )
         started = time.perf_counter()
         report = run_soak(config)
